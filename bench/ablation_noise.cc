@@ -1,0 +1,96 @@
+// Ablation: robustness to measurement noise.
+//
+// Real deployments add imprecision the clean theory ignores: lossy float
+// summaries upstream, stragglers dropping some measurement rows, or
+// deliberate noise for privacy. This harness injects additive Gaussian
+// noise into the aggregated measurement, y' = y + sigma * g, and tracks
+// BOMP's EK/EV against the noise-to-signal ratio — quantifying how far
+// the Section-5 stagnation stop degrades gracefully rather than failing.
+//
+// Flags: --n --s --m --trials --k
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "cs/bomp.h"
+#include "cs/measurement_matrix.h"
+#include "la/vector_ops.h"
+#include "outlier/metrics.h"
+#include "outlier/outlier.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace csod;
+  FlagParser flags;
+  flags.Parse(argc, argv).Check();
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 2000));
+  const size_t s = static_cast<size_t>(flags.GetInt("s", 30));
+  const size_t m = static_cast<size_t>(flags.GetInt("m", 400));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  const size_t trials = static_cast<size_t>(
+      flags.GetInt("trials", flags.GetBool("quick", false) ? 3 : 8));
+  // Noise scale relative to the *outlier signal* energy (the part of y
+  // that carries the answer).
+  const std::vector<int64_t> noise_permille =
+      flags.GetIntList("noise-permille", {0, 1, 5, 10, 50, 100, 300});
+
+  bench::Banner("Ablation: measurement noise",
+                "BOMP EK/EV vs noise-to-signal ratio (y' = y + sigma*g)");
+  std::printf("N = %zu, s = %zu, M = %zu, k = %zu, trials = %zu\n\n", n, s,
+              m, k, trials);
+  bench::PrintHeader("noise (permille) =", noise_permille);
+
+  std::vector<double> ek_avg, ev_avg, iter_avg;
+  for (int64_t permille : noise_permille) {
+    double ek = 0.0;
+    double ev = 0.0;
+    double iters = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      workload::MajorityDominatedOptions gen;
+      gen.n = n;
+      gen.sparsity = s;
+      gen.seed = 100 + t;
+      auto x = workload::GenerateMajorityDominated(gen).MoveValue();
+      const auto truth = outlier::ExactKOutliers(x, k);
+
+      cs::MeasurementMatrix matrix(m, n, 5000 + t * 53);
+      auto y = matrix.Multiply(x).MoveValue();
+
+      // Signal energy: the measurement of the deviation-from-mode part.
+      std::vector<double> deviation(n);
+      for (size_t i = 0; i < n; ++i) deviation[i] = x[i] - gen.mode;
+      auto y_signal = matrix.Multiply(deviation).MoveValue();
+      const double sigma = la::Norm2(y_signal) /
+                           std::sqrt(static_cast<double>(m)) *
+                           static_cast<double>(permille) / 1000.0;
+
+      Rng noise(900 + t);
+      for (double& v : y) v += sigma * noise.NextGaussian();
+
+      cs::BompOptions options;
+      options.max_iterations = s + 6;
+      auto recovery = cs::RunBomp(matrix, y, options).MoveValue();
+      const auto estimate = outlier::KOutliersFromRecovery(recovery, k);
+      ek += outlier::ErrorOnKey(truth, estimate);
+      ev += outlier::ErrorOnValue(truth, estimate);
+      iters += static_cast<double>(recovery.iterations);
+    }
+    ek_avg.push_back(ek / trials);
+    ev_avg.push_back(ev / trials);
+    iter_avg.push_back(iters / trials);
+  }
+
+  bench::PrintPercentRow("EK BOMP avg", ek_avg);
+  bench::PrintPercentRow("EV BOMP avg", ev_avg);
+  bench::PrintDoubleRow("iterations avg", iter_avg);
+
+  std::printf(
+      "\nExpected: keys stay exact well past 1%% noise (greedy selection "
+      "only needs the correlation ranking to survive) and values degrade "
+      "smoothly with sigma — graceful degradation, not collapse.\n");
+  return 0;
+}

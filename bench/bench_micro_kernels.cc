@@ -1,0 +1,192 @@
+// google-benchmark micro kernels for the hot paths of the CS pipeline:
+// column generation, compression, correlation (cached vs implicit), QR
+// append, and end-to-end OMP/BOMP recovery. These quantify the design
+// decisions called out in DESIGN.md (dense cache vs regeneration) and the
+// GPU-offload opportunity the paper leaves as future work.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "cs/basis_pursuit.h"
+#include "cs/bomp.h"
+#include "cs/compressor.h"
+#include "cs/measurement_matrix.h"
+#include "la/incremental_qr.h"
+#include "sketch/count_sketch.h"
+#include "sketch/hyperloglog.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace csod;
+
+void BM_CounterGaussian(benchmark::State& state) {
+  CounterGaussian gen(42);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.At(i++));
+  }
+}
+BENCHMARK(BM_CounterGaussian);
+
+void BM_ColumnGeneration(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  cs::MeasurementMatrix matrix(m, 1024, 7, /*cache_budget_bytes=*/0);
+  std::vector<double> col(m);
+  size_t j = 0;
+  for (auto _ : state) {
+    matrix.FillColumn(j++ % 1024, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ColumnGeneration)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CompressSparseSlice(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t nnz = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, 100000, 3, /*cache_budget_bytes=*/0);
+  cs::SparseSlice slice;
+  Rng rng(5);
+  for (size_t i = 0; i < nnz; ++i) {
+    slice.indices.push_back(rng.NextBounded(100000));
+    slice.values.push_back(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    auto y = matrix.MultiplySparse(slice.indices, slice.values);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * m * nnz);
+}
+BENCHMARK(BM_CompressSparseSlice)->Args({100, 1000})->Args({400, 1000});
+
+void BM_CorrelateCached(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, n, 9);
+  std::vector<double> r(m);
+  Rng rng(2);
+  for (double& v : r) v = rng.NextGaussian();
+  for (auto _ : state) {
+    auto c = matrix.CorrelateAll(r);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n);
+}
+BENCHMARK(BM_CorrelateCached)->Args({200, 10000})->Args({400, 20000});
+
+void BM_CorrelateImplicit(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, n, 9, /*cache_budget_bytes=*/0);
+  std::vector<double> r(m);
+  Rng rng(2);
+  for (double& v : r) v = rng.NextGaussian();
+  for (auto _ : state) {
+    auto c = matrix.CorrelateAll(r);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n);
+}
+BENCHMARK(BM_CorrelateImplicit)->Args({200, 10000});
+
+void BM_QrAppendColumn(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::vector<double>> columns;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> col(m);
+    for (double& v : col) v = rng.NextGaussian();
+    columns.push_back(std::move(col));
+  }
+  for (auto _ : state) {
+    la::IncrementalQr qr(m);
+    for (const auto& col : columns) {
+      benchmark::DoNotOptimize(qr.AppendColumn(col));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QrAppendColumn)->Arg(256)->Arg(1024);
+
+void BM_BompRecovery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t s = static_cast<size_t>(state.range(1));
+  const size_t m = static_cast<size_t>(state.range(2));
+
+  workload::MajorityDominatedOptions gen;
+  gen.n = n;
+  gen.sparsity = s;
+  gen.seed = 13;
+  auto x = workload::GenerateMajorityDominated(gen).MoveValue();
+  cs::MeasurementMatrix matrix(m, n, 21);
+  auto y = matrix.Multiply(x).MoveValue();
+
+  cs::BompOptions options;
+  options.max_iterations = s + 2;
+  for (auto _ : state) {
+    auto result = cs::RunBomp(matrix, y, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BompRecovery)
+    ->Args({1000, 10, 100})
+    ->Args({1000, 50, 400})
+    ->Args({10000, 50, 400});
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  auto sketch = sketch::CountSketch::Create(1024, 5, 3).MoveValue();
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Update(key++, 1.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_HyperLogLogAdd(benchmark::State& state) {
+  auto hll = sketch::HyperLogLog::Create(12).MoveValue();
+  uint64_t key = 0;
+  for (auto _ : state) {
+    hll.Add(key++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HyperLogLogAdd);
+
+void BM_BiasedBasisPursuit(benchmark::State& state) {
+  const size_t n = 512;
+  workload::MajorityDominatedOptions gen;
+  gen.n = n;
+  gen.sparsity = 10;
+  gen.seed = 3;
+  auto x = workload::GenerateMajorityDominated(gen).MoveValue();
+  cs::MeasurementMatrix matrix(128, n, 9);
+  auto y = matrix.Multiply(x).MoveValue();
+  cs::BasisPursuitOptions options;
+  options.max_iterations = 100;
+  options.lambda = 2.0;
+  for (auto _ : state) {
+    auto result = cs::RunBiasedBasisPursuit(matrix, y, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BiasedBasisPursuit);
+
+void BM_MeasurementAggregation(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> measurements(64,
+                                                std::vector<double>(m, 1.0));
+  for (auto _ : state) {
+    auto y = cs::Compressor::AggregateMeasurements(measurements);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * m);
+}
+BENCHMARK(BM_MeasurementAggregation)->Arg(400)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Figure 9: the recovered mode per BOMP iteration on the three production
+// workloads. The paper observes the estimate stabilizing after ~300 / 650
+// / 610 iterations (M = 500 / 800 / 800), which reveals the effective
+// sparsity of the production data.
+//
+// Default is quarter scale (the stabilization point scales with s);
+// --full runs paper scale. Flags: --full --scale=4
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "cs/bomp.h"
+#include "cs/measurement_matrix.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace csod;
+  FlagParser flags;
+  flags.Parse(argc, argv).Check();
+  const size_t scale = flags.GetBool("full", false)
+                           ? 1
+                           : static_cast<size_t>(flags.GetInt("scale", 4));
+
+  bench::Banner("Figure 9",
+                "mode estimate per recovery iteration, production workloads");
+  std::printf("scale = 1/%zu of paper key space; the paper's M per workload "
+              "is 500/800/800 (scaled alike)\n",
+              scale);
+
+  const size_t paper_m[3] = {500, 800, 800};
+  const workload::ClickScoreType types[3] = {
+      workload::ClickScoreType::kCoreSearch, workload::ClickScoreType::kAds,
+      workload::ClickScoreType::kAnswer};
+
+  for (int wi = 0; wi < 3; ++wi) {
+    const auto cal = workload::CalibrationFor(types[wi]);
+    const size_t n = cal.n / scale;
+    const size_t s = cal.sparsity / scale;
+    const size_t m = paper_m[wi] / scale * 2;  // Scaled, with headroom.
+
+    workload::ClickLogOptions gen;
+    gen.score_type = types[wi];
+    gen.n_override = n;
+    gen.sparsity_override = s;
+    gen.seed = 900 + wi;
+    // Mild tail for this figure: with comparable outlier magnitudes the
+    // recovery picks them in data-dependent order and the mode estimate
+    // keeps moving until all s are absorbed — the effect the paper uses
+    // to read the sparsity off the trace.
+    gen.divergence_alpha = 2.5;
+    auto data = workload::GenerateClickLog(gen).MoveValue();
+
+    cs::MeasurementMatrix matrix(m, n, 31 + wi);
+    auto y = matrix.Multiply(data.global).MoveValue();
+
+    cs::BompOptions options;
+    options.max_iterations = std::min(m, s + s / 2 + 20);
+    options.record_mode_trace = true;
+    options.stop_on_residual_stagnation = false;
+    auto result = cs::RunBomp(matrix, y, options).MoveValue();
+    const auto& trace = result.mode_trace;
+
+    // Stabilization: first iteration after which the estimate stays within
+    // 0.2% of its final value.
+    size_t stable_at = trace.size();
+    if (!trace.empty()) {
+      const double final_mode = trace.back();
+      for (size_t i = trace.size(); i-- > 0;) {
+        if (std::fabs(trace[i] - final_mode) >
+            0.002 * std::max(1.0, std::fabs(final_mode))) {
+          break;
+        }
+        stable_at = i;
+      }
+    }
+
+    std::printf("\n=== %s: N = %zu, planted s = %zu, M = %zu ===\n",
+                workload::ClickScoreTypeName(types[wi]), n, s, m);
+    const size_t step = std::max<size_t>(1, trace.size() / 12);
+    for (size_t it = 0; it < trace.size(); it += step) {
+      std::printf("  iter %4zu: %12.2f\n", it + 1, trace[it]);
+    }
+    std::printf("  mode stabilized at iteration ~%zu (planted sparsity %zu; "
+                "final mode %.2f, generator mode %.2f)\n",
+                stable_at + 1, s, trace.empty() ? 0.0 : trace.back(),
+                data.mode);
+  }
+
+  std::printf(
+      "\nExpected shape: the stabilization iteration tracks each "
+      "workload's sparsity s — the paper reads s = 300/650/610 off these "
+      "curves at full scale.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Sliding-window anomaly monitoring: the Section-1 streaming scenario
+// ("terabytes of new click log every 10 minutes") where queries cover the
+// last W epochs, not all of history. One M-sized sketch per epoch gives
+// O(1) expiry and O(W·M) window queries by linearity. Also shows the
+// adaptive protocol choosing M online when the sparsity is unknown.
+//
+// Build & run:  ./build/examples/sliding_window_monitoring
+
+#include <cstdio>
+#include <vector>
+
+#include "core/csod.h"
+
+int main() {
+  using namespace csod;
+
+  const size_t kNumKeys = 5000;
+  const size_t kWindow = 3;  // Analyst asks about the last 3 epochs.
+
+  core::WindowedDetectorOptions options;
+  options.n = kNumKeys;
+  options.m = 300;
+  options.seed = 2015;
+  options.iterations = 40;
+  options.window_epochs = kWindow;
+  auto monitor =
+      core::WindowedOutlierDetector::Create(options).MoveValue();
+
+  // Six epochs of traffic; an incident burns keys 777/888 in epochs 1-2
+  // and a fresh incident hits key 4242 in epoch 5.
+  for (uint64_t epoch = 0; epoch < 6; ++epoch) {
+    monitor->AdvanceEpoch();
+
+    // Baseline epoch traffic: every key near 100.
+    workload::ClickLogOptions gen;
+    gen.n_override = kNumKeys;
+    gen.sparsity_override = 1;
+    gen.mode = 100.0;
+    gen.min_divergence = 1.0;
+    gen.max_divergence = 2.0;
+    gen.seed = 100 + epoch;
+    auto base = workload::GenerateClickLog(gen).MoveValue();
+    monitor->Ingest(cs::SparseSlice::FromDense(base.global)).Check();
+
+    cs::SparseSlice incident;
+    if (epoch == 1 || epoch == 2) {
+      incident.indices = {777, 888};
+      incident.values = {25000.0, -20000.0};
+    }
+    if (epoch == 5) {
+      incident.indices = {4242};
+      incident.values = {60000.0};
+    }
+    if (!incident.indices.empty()) {
+      monitor->Ingest(incident).Check();
+    }
+
+    auto result = monitor->Detect(2).MoveValue();
+    std::printf("epoch %llu (window covers %zu epochs): top anomalies:",
+                static_cast<unsigned long long>(epoch),
+                monitor->epochs_retained());
+    for (const auto& o : result.outliers) {
+      if (o.divergence > 1000.0) {
+        std::printf("  key %zu (%.0f)", o.key_index, o.value);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nNote how keys 777/888 age out of the window after epoch 4 "
+              "and key 4242 appears instantly in epoch 5 — all from W "
+              "sketches of %zu doubles, never re-reading history.\n\n",
+              options.m);
+
+  // --- Adaptive M: one-shot detection without knowing the sparsity. ---
+  workload::ClickLogOptions gen;
+  gen.n_override = kNumKeys;
+  gen.sparsity_override = 45;
+  gen.seed = 7;
+  auto data = workload::GenerateClickLog(gen).MoveValue();
+  workload::PartitionOptions part;
+  part.num_nodes = 8;
+  part.strategy = workload::PartitionStrategy::kSkewedSplit;
+  part.seed = 8;
+  auto slices = workload::PartitionAdditive(data.global, part).MoveValue();
+  dist::Cluster cluster(kNumKeys);
+  for (auto& slice : slices) cluster.AddNode(std::move(slice)).Value();
+
+  dist::AdaptiveCsOptions adaptive_options;
+  adaptive_options.initial_m = 32;
+  adaptive_options.max_m = 2048;
+  adaptive_options.seed = 21;
+  adaptive_options.iterations = 60;
+  dist::AdaptiveCsProtocol adaptive(adaptive_options);
+  dist::CommStats comm;
+  auto detected = adaptive.Run(cluster, 5, &comm).MoveValue();
+
+  std::printf("Adaptive protocol (sparsity unknown a priori):\n");
+  for (const auto& round : adaptive.rounds()) {
+    std::printf("  round: M = %-5zu relative residual %.2e%s%s\n", round.m,
+                round.relative_residual,
+                round.topk_stable ? "  [top-k stable]" : "",
+                round.accepted ? "  -> accepted" : "");
+  }
+  std::printf("Detected mode %.1f; strongest outlier key %zu (%.1f). Total "
+              "cost: %llu bytes across %llu rounds.\n",
+              detected.mode,
+              detected.outliers.empty() ? 0 : detected.outliers[0].key_index,
+              detected.outliers.empty() ? 0.0 : detected.outliers[0].value,
+              static_cast<unsigned long long>(comm.bytes_total()),
+              static_cast<unsigned long long>(comm.rounds()));
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every figure-reproduction harness at (or near) the paper's scale.
+# The default `for b in build/bench/*; do $b; done` sweep is laptop-sized;
+# this script restores the paper's N / M / trial counts. Expect hours of
+# CPU on a single core.
+#
+# Usage: scripts/run_paper_scale.sh [output-dir]
+set -euo pipefail
+
+BUILD=${BUILD:-build}
+OUT=${1:-paper_scale_results}
+mkdir -p "$OUT"
+
+run() {
+  local name=$1
+  shift
+  echo "=== $name $* ==="
+  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.txt"
+}
+
+# Figure 4: already paper-sized N; restore the 1000-trial estimate.
+run fig4a_exact_recovery --trials=1000
+run fig4b_mode_trace
+
+# Figures 5/6: N = 10K, M = 100..1000, 100 trials.
+run fig5_6_powerlaw_errors --n=10000 \
+  --m-list=100,200,300,400,500,600,700,800,900,1000 --trials=100
+
+# Figures 7/8: full key spaces (10.4K / 9K / 10K).
+run fig7_8_production_errors --full --trials=20
+
+# Figure 9: full scale (stabilization ~ 300 / 650 / 610).
+run fig9_production_mode_trace --full
+
+# Figures 10/11: the paper's synthetic N = 100K.
+run fig10_11_hadoop_endtoend --n=100000
+
+# Figure 12: N up to 1M (pass --n-list=...,5000000 for the 5M point;
+# budget several GiB of RAM and a long run).
+run fig12_key_scaling --full
+
+run conjectures --trials=2000
+run ablation_recovery
+run ablation_sketches
+run ablation_adaptive
+run ablation_noise
+run bench_micro_kernels
+
+echo "All paper-scale outputs in $OUT/"

@@ -1,0 +1,45 @@
+#ifndef CSOD_COMMON_FORMAT_H_
+#define CSOD_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace csod {
+
+/// Formats a byte count with a binary-prefix unit, e.g. "1.50 MiB".
+inline std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+/// Formats a fraction as a percentage with the given precision,
+/// e.g. FormatPercent(0.0132, 1) == "1.3%".
+inline std::string FormatPercent(double fraction, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+/// Formats seconds with millisecond resolution, e.g. "12.345 s".
+inline std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  return buf;
+}
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_FORMAT_H_

@@ -1,0 +1,25 @@
+#ifndef CSOD_COMMON_GRID_H_
+#define CSOD_COMMON_GRID_H_
+
+#include <cmath>
+
+namespace csod {
+
+/// \brief Fixed-point value grid used by generators and partitioners.
+///
+/// All generated data values and all partition shares are multiples of
+/// `kValueGrid` (2^-16). Sums and differences of such multiples with
+/// magnitude below ~2^37 are *exact* in double arithmetic regardless of
+/// association order, so the additive slice model `Σ_l x_l = x` holds
+/// bitwise — which keeps exact-equality mode detection (Definition 2)
+/// meaningful on re-aggregated data.
+inline constexpr double kValueGrid = 1.0 / 65536.0;
+
+/// Rounds `v` to the nearest grid multiple.
+inline double QuantizeToGrid(double v) {
+  return std::round(v * 65536.0) * kValueGrid;
+}
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_GRID_H_

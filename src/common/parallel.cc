@@ -1,0 +1,57 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace csod {
+
+namespace {
+
+std::atomic<size_t> g_max_threads{0};  // 0 = uninitialized -> hardware.
+
+size_t EffectiveLimit() {
+  size_t limit = g_max_threads.load(std::memory_order_relaxed);
+  if (limit == 0) {
+    limit = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return limit;
+}
+
+}  // namespace
+
+void SetParallelismLimit(size_t max_threads) {
+  g_max_threads.store(std::max<size_t>(1, max_threads),
+                      std::memory_order_relaxed);
+}
+
+size_t GetParallelismLimit() { return EffectiveLimit(); }
+
+void ParallelFor(size_t count, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  min_chunk = std::max<size_t>(1, min_chunk);
+  const size_t limit = EffectiveLimit();
+  // Deterministic chunking: depends only on count and the limit.
+  const size_t chunks =
+      std::min(limit, std::max<size_t>(1, count / min_chunk));
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  const size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::vector<std::thread> workers;
+  workers.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(count, begin + chunk_size);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  body(0, std::min(count, chunk_size));  // First chunk on this thread.
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace csod

@@ -1,0 +1,34 @@
+#ifndef CSOD_COMMON_PARALLEL_H_
+#define CSOD_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace csod {
+
+/// Number of worker threads ParallelFor may use. Defaults to the hardware
+/// concurrency; override globally (e.g. 1 to force serial execution in
+/// tests or when the caller owns threading).
+void SetParallelismLimit(size_t max_threads);
+size_t GetParallelismLimit();
+
+/// \brief Deterministic data-parallel loop: invokes `body(begin, end)` on
+/// disjoint contiguous chunks covering [0, count).
+///
+/// Guarantees:
+///  - chunk boundaries depend only on `count` and the parallelism limit,
+///    never on scheduling, so writes to per-index output slots yield
+///    bit-identical results at any thread count;
+///  - `body` runs on the calling thread when the range is small or the
+///    limit is 1 (no thread spawn cost for tiny work);
+///  - exceptions are not expected from `body` (the library is
+///    no-exceptions); a throwing body terminates.
+///
+/// Used by the measurement-matrix kernels (cache construction,
+/// correlation) where each output element depends only on its own index.
+void ParallelFor(size_t count, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_PARALLEL_H_

@@ -1,0 +1,33 @@
+#ifndef CSOD_COMMON_STOPWATCH_H_
+#define CSOD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace csod {
+
+/// \brief Monotonic wall-clock stopwatch used by the MapReduce cost model
+/// and the benchmark harnesses.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() { Restart(); }
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_STOPWATCH_H_

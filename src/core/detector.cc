@@ -1,0 +1,181 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "dist/wire_format.h"
+#include "la/vector_ops.h"
+
+namespace csod::core {
+
+DistributedOutlierDetector::DistributedOutlierDetector(
+    const DetectorOptions& options)
+    : options_(options),
+      matrix_(std::make_unique<cs::MeasurementMatrix>(
+          options.m, options.n, options.seed, options.cache_budget_bytes)),
+      compressor_(std::make_unique<cs::Compressor>(matrix_.get())),
+      global_y_(options.m, 0.0) {}
+
+Result<std::unique_ptr<DistributedOutlierDetector>>
+DistributedOutlierDetector::Create(const DetectorOptions& options) {
+  if (options.n == 0) {
+    return Status::InvalidArgument("DetectorOptions.n must be > 0");
+  }
+  if (options.m == 0) {
+    return Status::InvalidArgument("DetectorOptions.m must be > 0");
+  }
+  return std::unique_ptr<DistributedOutlierDetector>(
+      new DistributedOutlierDetector(options));
+}
+
+Result<SourceId> DistributedOutlierDetector::AddSource(
+    const cs::SparseSlice& slice) {
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                        compressor_->Compress(slice));
+  return AddSourceMeasurement(std::move(y_l));
+}
+
+Result<SourceId> DistributedOutlierDetector::AddSourceMeasurement(
+    std::vector<double> y_l) {
+  if (y_l.size() != options_.m) {
+    return Status::InvalidArgument(
+        "AddSourceMeasurement: measurement size " +
+        std::to_string(y_l.size()) + " != M " + std::to_string(options_.m));
+  }
+  la::Axpy(1.0, y_l, &global_y_);
+  const SourceId id = next_id_++;
+  sketches_.emplace(id, std::move(y_l));
+  return id;
+}
+
+Status DistributedOutlierDetector::RemoveSource(SourceId id) {
+  auto it = sketches_.find(id);
+  if (it == sketches_.end()) {
+    return Status::NotFound("RemoveSource: no source " + std::to_string(id));
+  }
+  la::Axpy(-1.0, it->second, &global_y_);
+  sketches_.erase(it);
+  return Status::OK();
+}
+
+Status DistributedOutlierDetector::ApplyDelta(SourceId id,
+                                              const cs::SparseSlice& delta) {
+  auto it = sketches_.find(id);
+  if (it == sketches_.end()) {
+    return Status::NotFound("ApplyDelta: no source " + std::to_string(id));
+  }
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> dy, compressor_->Compress(delta));
+  la::Axpy(1.0, dy, &it->second);
+  la::Axpy(1.0, dy, &global_y_);
+  return Status::OK();
+}
+
+Result<outlier::OutlierSet> DistributedOutlierDetector::Detect(
+    size_t k) const {
+  if (k == 0) {
+    return Status::InvalidArgument("Detect: k must be > 0");
+  }
+  const size_t iterations = options_.iterations == 0
+                                ? cs::DefaultIterationsForK(k)
+                                : options_.iterations;
+  CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery, Recover(iterations));
+  return outlier::KOutliersFromRecovery(recovery, k);
+}
+
+Result<std::vector<outlier::Outlier>> DistributedOutlierDetector::DetectTopK(
+    size_t k) const {
+  if (k == 0) {
+    return Status::InvalidArgument("DetectTopK: k must be > 0");
+  }
+  const size_t iterations = options_.iterations == 0
+                                ? cs::DefaultIterationsForK(k)
+                                : options_.iterations;
+  CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery, Recover(iterations));
+  std::vector<outlier::Outlier> top;
+  top.reserve(recovery.entries.size());
+  for (const cs::RecoveredEntry& e : recovery.entries) {
+    top.push_back(outlier::Outlier{e.index, e.value, e.value});
+  }
+  std::sort(top.begin(), top.end(),
+            [](const outlier::Outlier& a, const outlier::Outlier& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.key_index < b.key_index;
+            });
+  if (top.size() > k) top.resize(k);
+  return top;
+}
+
+Status DistributedOutlierDetector::Save(std::ostream& out) const {
+  // Text header (versioned) followed by one length-prefixed wire-format
+  // measurement message per source.
+  out << "csod-detector v1\n";
+  out << options_.n << ' ' << options_.m << ' ' << options_.seed << ' '
+      << options_.iterations << ' ' << sketches_.size() << '\n';
+  for (const auto& [id, sketch] : sketches_) {
+    const std::string message = dist::EncodeMeasurement(sketch);
+    out << id << ' ' << message.size() << '\n';
+    out.write(message.data(), static_cast<std::streamsize>(message.size()));
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::Internal("Save: stream write failed");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DistributedOutlierDetector>>
+DistributedOutlierDetector::Load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "csod-detector" ||
+      version != "v1") {
+    return Status::InvalidArgument("Load: not a csod-detector v1 checkpoint");
+  }
+  DetectorOptions options;
+  size_t num_sources = 0;
+  if (!(in >> options.n >> options.m >> options.seed >> options.iterations >>
+        num_sources)) {
+    return Status::InvalidArgument("Load: malformed checkpoint header");
+  }
+  CSOD_ASSIGN_OR_RETURN(auto detector, Create(options));
+
+  for (size_t i = 0; i < num_sources; ++i) {
+    SourceId id = 0;
+    size_t size = 0;
+    if (!(in >> id >> size)) {
+      return Status::InvalidArgument("Load: malformed source header");
+    }
+    in.get();  // The newline after the header.
+    std::string message(size, '\0');
+    in.read(message.data(), static_cast<std::streamsize>(size));
+    if (!in.good()) {
+      return Status::InvalidArgument("Load: truncated sketch payload");
+    }
+    in.get();  // The trailing newline.
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> sketch,
+                          dist::DecodeMeasurement(message));
+    CSOD_ASSIGN_OR_RETURN(SourceId assigned,
+                          detector->AddSourceMeasurement(std::move(sketch)));
+    // Preserve the original ids so RemoveSource/ApplyDelta keep working
+    // across a checkpoint.
+    if (assigned != id) {
+      auto node = detector->sketches_.extract(assigned);
+      node.key() = id;
+      detector->sketches_.insert(std::move(node));
+      detector->next_id_ = std::max(detector->next_id_, id + 1);
+    }
+  }
+  return detector;
+}
+
+Result<cs::BompResult> DistributedOutlierDetector::Recover(
+    size_t iterations) const {
+  if (sketches_.empty()) {
+    return Status::FailedPrecondition("Recover: no sources registered");
+  }
+  cs::BompOptions bomp_options;
+  bomp_options.max_iterations = iterations;
+  return cs::RunBomp(*matrix_, global_y_, bomp_options);
+}
+
+}  // namespace csod::core

@@ -1,0 +1,99 @@
+#include "core/windowed_detector.h"
+
+#include <string>
+
+#include "la/vector_ops.h"
+
+namespace csod::core {
+
+WindowedOutlierDetector::WindowedOutlierDetector(
+    const WindowedDetectorOptions& options)
+    : options_(options),
+      matrix_(std::make_unique<cs::MeasurementMatrix>(
+          options.m, options.n, options.seed, options.cache_budget_bytes)),
+      compressor_(std::make_unique<cs::Compressor>(matrix_.get())) {}
+
+Result<std::unique_ptr<WindowedOutlierDetector>>
+WindowedOutlierDetector::Create(const WindowedDetectorOptions& options) {
+  if (options.n == 0) {
+    return Status::InvalidArgument("WindowedDetectorOptions.n must be > 0");
+  }
+  if (options.m == 0) {
+    return Status::InvalidArgument("WindowedDetectorOptions.m must be > 0");
+  }
+  if (options.window_epochs == 0) {
+    return Status::InvalidArgument(
+        "WindowedDetectorOptions.window_epochs must be > 0");
+  }
+  return std::unique_ptr<WindowedOutlierDetector>(
+      new WindowedOutlierDetector(options));
+}
+
+uint64_t WindowedOutlierDetector::AdvanceEpoch() {
+  if (started_) {
+    ++current_epoch_;
+  } else {
+    started_ = true;
+  }
+  epoch_sketches_.emplace_back(options_.m, 0.0);
+  while (epoch_sketches_.size() > options_.window_epochs) {
+    epoch_sketches_.pop_front();  // O(1) expiry: drop the oldest sketch.
+  }
+  return current_epoch_;
+}
+
+Status WindowedOutlierDetector::Ingest(const cs::SparseSlice& slice) {
+  if (!started_) {
+    return Status::FailedPrecondition(
+        "Ingest: call AdvanceEpoch() before ingesting data");
+  }
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> dy, compressor_->Compress(slice));
+  la::Axpy(1.0, dy, &epoch_sketches_.back());
+  return Status::OK();
+}
+
+Status WindowedOutlierDetector::IngestMeasurement(
+    const std::vector<double>& y_l) {
+  if (!started_) {
+    return Status::FailedPrecondition(
+        "IngestMeasurement: call AdvanceEpoch() before ingesting data");
+  }
+  if (y_l.size() != options_.m) {
+    return Status::InvalidArgument(
+        "IngestMeasurement: measurement size " + std::to_string(y_l.size()) +
+        " != M " + std::to_string(options_.m));
+  }
+  la::Axpy(1.0, y_l, &epoch_sketches_.back());
+  return Status::OK();
+}
+
+Result<std::vector<double>> WindowedOutlierDetector::WindowMeasurement()
+    const {
+  if (epoch_sketches_.empty()) {
+    return Status::FailedPrecondition("no epochs ingested yet");
+  }
+  std::vector<double> y(options_.m, 0.0);
+  for (const auto& sketch : epoch_sketches_) la::Axpy(1.0, sketch, &y);
+  return y;
+}
+
+Result<outlier::OutlierSet> WindowedOutlierDetector::Detect(size_t k) const {
+  if (k == 0) {
+    return Status::InvalidArgument("Detect: k must be > 0");
+  }
+  const size_t iterations = options_.iterations == 0
+                                ? cs::DefaultIterationsForK(k)
+                                : options_.iterations;
+  CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery, Recover(iterations));
+  return outlier::KOutliersFromRecovery(recovery, k);
+}
+
+Result<cs::BompResult> WindowedOutlierDetector::Recover(
+    size_t iterations) const {
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> y, WindowMeasurement());
+  cs::BompOptions options;
+  options.max_iterations = iterations;
+  return cs::RunBomp(*matrix_, y, options);
+}
+
+}  // namespace csod::core

@@ -1,0 +1,44 @@
+#include "cs/compressor.h"
+
+#include <string>
+
+namespace csod::cs {
+
+std::vector<double> SparseSlice::ToDense(size_t n) const {
+  std::vector<double> x(n, 0.0);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] < n) x[indices[k]] += values[k];
+  }
+  return x;
+}
+
+SparseSlice SparseSlice::FromDense(const std::vector<double>& x) {
+  SparseSlice slice;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != 0.0) {
+      slice.indices.push_back(i);
+      slice.values.push_back(x[i]);
+    }
+  }
+  return slice;
+}
+
+Result<std::vector<double>> Compressor::AggregateMeasurements(
+    const std::vector<std::vector<double>>& measurements) {
+  if (measurements.empty()) {
+    return Status::InvalidArgument("AggregateMeasurements: no measurements");
+  }
+  const size_t m = measurements.front().size();
+  std::vector<double> y(m, 0.0);
+  for (const auto& yl : measurements) {
+    if (yl.size() != m) {
+      return Status::InvalidArgument(
+          "AggregateMeasurements: inconsistent measurement sizes (" +
+          std::to_string(yl.size()) + " vs " + std::to_string(m) + ")");
+    }
+    for (size_t i = 0; i < m; ++i) y[i] += yl[i];
+  }
+  return y;
+}
+
+}  // namespace csod::cs

@@ -1,0 +1,65 @@
+#ifndef CSOD_CS_COMPRESSOR_H_
+#define CSOD_CS_COMPRESSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/measurement_matrix.h"
+
+namespace csod::cs {
+
+/// \brief A local data slice in sparse coordinate form: the non-zero
+/// aggregated values a node holds, keyed by global-dictionary index.
+///
+/// Local slices are typically sparse even when the global aggregate is not
+/// (a node only sees a subset of keys), so compression iterates non-zeros.
+struct SparseSlice {
+  std::vector<size_t> indices;
+  std::vector<double> values;
+
+  size_t nnz() const { return indices.size(); }
+
+  /// Materializes the dense N-vector (zeros elsewhere).
+  std::vector<double> ToDense(size_t n) const;
+
+  /// Builds a sparse slice from a dense vector, dropping zeros.
+  static SparseSlice FromDense(const std::vector<double>& x);
+};
+
+/// \brief Local compression (Section 3.1): `y_l = Φ0 x_l`.
+///
+/// The measurement is what a node transmits instead of its slice; its size
+/// M is the per-node communication cost. Linearity guarantees
+/// `Σ_l Compress(x_l) = Compress(Σ_l x_l)`, which is why per-node sketches
+/// aggregate exactly (Equation 1).
+class Compressor {
+ public:
+  /// Uses (and must not outlive) `matrix`.
+  explicit Compressor(const MeasurementMatrix* matrix) : matrix_(matrix) {}
+
+  /// Compresses a dense slice of size N.
+  Result<std::vector<double>> Compress(const std::vector<double>& slice) const {
+    return matrix_->Multiply(slice);
+  }
+
+  /// Compresses a sparse slice; cost O(nnz * M).
+  Result<std::vector<double>> Compress(const SparseSlice& slice) const {
+    return matrix_->MultiplySparse(slice.indices, slice.values);
+  }
+
+  /// Aggregates local measurements into the global measurement
+  /// `y = Σ_l y_l` (Equation 1). All measurements must have length M.
+  static Result<std::vector<double>> AggregateMeasurements(
+      const std::vector<std::vector<double>>& measurements);
+
+  /// Measurement length M.
+  size_t measurement_size() const { return matrix_->m(); }
+
+ private:
+  const MeasurementMatrix* matrix_;
+};
+
+}  // namespace csod::cs
+
+#endif  // CSOD_CS_COMPRESSOR_H_

@@ -1,0 +1,36 @@
+#include "cs/dictionary.h"
+
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+
+void ExtendedDictionary::FillAtom(size_t j, double* out) const {
+  if (j == 0) {
+    for (size_t i = 0; i < bias_column_.size(); ++i) out[i] = bias_column_[i];
+    return;
+  }
+  matrix_->FillColumn(j - 1, out);
+}
+
+Result<std::vector<double>> ExtendedDictionary::Correlate(
+    const std::vector<double>& r) const {
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> base, matrix_->CorrelateAll(r));
+  std::vector<double> out(base.size() + 1);
+  out[0] = la::Dot(bias_column_, r);
+  for (size_t j = 0; j < base.size(); ++j) out[j + 1] = base[j];
+  return out;
+}
+
+Result<std::vector<double>> ExtendedDictionary::MultiplyDense(
+    const std::vector<double>& z) const {
+  if (z.size() != num_atoms()) {
+    return Status::InvalidArgument(
+        "ExtendedDictionary::MultiplyDense: size mismatch");
+  }
+  std::vector<double> rest(z.begin() + 1, z.end());
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> y, matrix_->Multiply(rest));
+  for (size_t i = 0; i < y.size(); ++i) y[i] += z[0] * bias_column_[i];
+  return y;
+}
+
+}  // namespace csod::cs

@@ -1,0 +1,105 @@
+#ifndef CSOD_CS_DICTIONARY_H_
+#define CSOD_CS_DICTIONARY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/measurement_matrix.h"
+
+namespace csod::cs {
+
+/// \brief Abstract over-complete dictionary as seen by the OMP column
+/// selection loop (Algorithm 2 in the paper).
+///
+/// OMP only needs two operations on the dictionary: fetch one atom
+/// (column) and correlate the current residual against all atoms. Both the
+/// plain measurement matrix (standard OMP) and the bias-extended matrix
+/// `Φ = [φ0, Φ0]` used by BOMP implement this interface, so a single OMP
+/// implementation serves both algorithms.
+class Dictionary {
+ public:
+  virtual ~Dictionary() = default;
+
+  /// Number of atoms (columns).
+  virtual size_t num_atoms() const = 0;
+  /// Length of each atom (the measurement size M).
+  virtual size_t atom_length() const = 0;
+
+  /// Writes atom `j` (length atom_length()) into `out`.
+  virtual void FillAtom(size_t j, double* out) const = 0;
+
+  /// c_j = <atom_j, r> for all atoms. r.size() must equal atom_length().
+  virtual Result<std::vector<double>> Correlate(
+      const std::vector<double>& r) const = 0;
+
+  /// y = Σ_j z_j * atom_j for a dense coefficient vector z of size
+  /// num_atoms() (the forward operator, needed by gradient-based
+  /// recoveries like FISTA).
+  virtual Result<std::vector<double>> MultiplyDense(
+      const std::vector<double>& z) const = 0;
+
+  /// Atom `j` as a vector.
+  std::vector<double> Atom(size_t j) const {
+    std::vector<double> out(atom_length());
+    FillAtom(j, out.data());
+    return out;
+  }
+};
+
+/// \brief Dictionary view over a plain measurement matrix (standard OMP).
+/// Does not own the matrix; the matrix must outlive the view.
+class MatrixDictionary final : public Dictionary {
+ public:
+  explicit MatrixDictionary(const MeasurementMatrix* matrix)
+      : matrix_(matrix) {}
+
+  size_t num_atoms() const override { return matrix_->n(); }
+  size_t atom_length() const override { return matrix_->m(); }
+  void FillAtom(size_t j, double* out) const override {
+    matrix_->FillColumn(j, out);
+  }
+  Result<std::vector<double>> Correlate(
+      const std::vector<double>& r) const override {
+    return matrix_->CorrelateAll(r);
+  }
+  Result<std::vector<double>> MultiplyDense(
+      const std::vector<double>& z) const override {
+    return matrix_->Multiply(z);
+  }
+
+ private:
+  const MeasurementMatrix* matrix_;
+};
+
+/// \brief The BOMP extended dictionary `Φ = [φ0, Φ0]` with
+/// `φ0 = (1/√N) Σ_i φ_i` (Equation 2/3 in the paper).
+///
+/// Atom 0 is the bias column; atom j (j >= 1) is column j-1 of Φ0. The
+/// bias column is materialized once at construction (one pass over Φ0).
+class ExtendedDictionary final : public Dictionary {
+ public:
+  explicit ExtendedDictionary(const MeasurementMatrix* matrix)
+      : matrix_(matrix), bias_column_(matrix->BiasColumn()) {}
+
+  size_t num_atoms() const override { return matrix_->n() + 1; }
+  size_t atom_length() const override { return matrix_->m(); }
+
+  void FillAtom(size_t j, double* out) const override;
+  Result<std::vector<double>> Correlate(
+      const std::vector<double>& r) const override;
+  Result<std::vector<double>> MultiplyDense(
+      const std::vector<double>& z) const override;
+
+  /// The materialized bias column φ0.
+  const std::vector<double>& bias_column() const { return bias_column_; }
+
+ private:
+  const MeasurementMatrix* matrix_;
+  std::vector<double> bias_column_;
+};
+
+}  // namespace csod::cs
+
+#endif  // CSOD_CS_DICTIONARY_H_

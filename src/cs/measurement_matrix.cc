@@ -1,0 +1,147 @@
+#include "cs/measurement_matrix.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/parallel.h"
+
+namespace csod::cs {
+
+namespace {
+// Minimum per-thread column count before ParallelFor spawns workers — the
+// kernels below cost >= M flops per column, so tiny jobs stay serial.
+constexpr size_t kMinColumnsPerChunk = 256;
+}  // namespace
+
+MeasurementMatrix::MeasurementMatrix(size_t m, size_t n, uint64_t seed,
+                                     size_t cache_budget_bytes)
+    : m_(m), n_(n), seed_(seed), inv_sqrt_m_(1.0 / std::sqrt(double(m))) {
+  const size_t bytes = m_ * n_ * sizeof(double);
+  if (cache_budget_bytes > 0 && bytes <= cache_budget_bytes) {
+    cache_.resize(m_ * n_);
+    // Column-parallel and deterministic: each column's entries are a pure
+    // function of (seed, col, row), written to a disjoint cache range.
+    ParallelFor(n_, kMinColumnsPerChunk, [&](size_t begin, size_t end) {
+      for (size_t col = begin; col < end; ++col) {
+        CounterGaussian gen(HashCombine(seed_, col));
+        double* dst = cache_.data() + col * m_;
+        gen.Fill(m_, dst);
+        for (size_t row = 0; row < m_; ++row) dst[row] *= inv_sqrt_m_;
+      }
+    });
+  }
+}
+
+void MeasurementMatrix::FillColumn(size_t col, double* out) const {
+  if (!cache_.empty()) {
+    const double* src = cache_.data() + col * m_;
+    for (size_t row = 0; row < m_; ++row) out[row] = src[row];
+    return;
+  }
+  CounterGaussian gen(HashCombine(seed_, col));
+  gen.Fill(m_, out);
+  for (size_t row = 0; row < m_; ++row) out[row] *= inv_sqrt_m_;
+}
+
+std::vector<double> MeasurementMatrix::Column(size_t col) const {
+  std::vector<double> out(m_);
+  FillColumn(col, out.data());
+  return out;
+}
+
+Result<std::vector<double>> MeasurementMatrix::Multiply(
+    const std::vector<double>& x) const {
+  if (x.size() != n_) {
+    return Status::InvalidArgument("Multiply: x size " +
+                                   std::to_string(x.size()) + " != N " +
+                                   std::to_string(n_));
+  }
+  std::vector<double> y(m_, 0.0);
+  std::vector<double> col(m_);
+  for (size_t j = 0; j < n_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    if (!cache_.empty()) {
+      const double* src = cache_.data() + j * m_;
+      for (size_t i = 0; i < m_; ++i) y[i] += src[i] * xj;
+    } else {
+      FillColumn(j, col.data());
+      for (size_t i = 0; i < m_; ++i) y[i] += col[i] * xj;
+    }
+  }
+  return y;
+}
+
+Result<std::vector<double>> MeasurementMatrix::MultiplySparse(
+    const std::vector<size_t>& indices,
+    const std::vector<double>& values) const {
+  if (indices.size() != values.size()) {
+    return Status::InvalidArgument(
+        "MultiplySparse: indices/values size mismatch");
+  }
+  std::vector<double> y(m_, 0.0);
+  std::vector<double> col(m_);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const size_t j = indices[k];
+    if (j >= n_) {
+      return Status::OutOfRange("MultiplySparse: index " + std::to_string(j) +
+                                " out of N " + std::to_string(n_));
+    }
+    const double xj = values[k];
+    if (xj == 0.0) continue;
+    if (!cache_.empty()) {
+      const double* src = cache_.data() + j * m_;
+      for (size_t i = 0; i < m_; ++i) y[i] += src[i] * xj;
+    } else {
+      FillColumn(j, col.data());
+      for (size_t i = 0; i < m_; ++i) y[i] += col[i] * xj;
+    }
+  }
+  return y;
+}
+
+Result<std::vector<double>> MeasurementMatrix::CorrelateAll(
+    const std::vector<double>& r) const {
+  if (r.size() != m_) {
+    return Status::InvalidArgument("CorrelateAll: r size " +
+                                   std::to_string(r.size()) + " != M " +
+                                   std::to_string(m_));
+  }
+  std::vector<double> c(n_, 0.0);
+  if (!cache_.empty()) {
+    ParallelFor(n_, kMinColumnsPerChunk, [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        const double* src = cache_.data() + j * m_;
+        double acc = 0.0;
+        for (size_t i = 0; i < m_; ++i) acc += src[i] * r[i];
+        c[j] = acc;
+      }
+    });
+  } else {
+    ParallelFor(n_, kMinColumnsPerChunk, [&](size_t begin, size_t end) {
+      std::vector<double> col(m_);
+      for (size_t j = begin; j < end; ++j) {
+        CounterGaussian gen(HashCombine(seed_, j));
+        gen.Fill(m_, col.data());
+        double acc = 0.0;
+        for (size_t i = 0; i < m_; ++i) acc += col[i] * r[i];
+        c[j] = acc * inv_sqrt_m_;
+      }
+    });
+  }
+  return c;
+}
+
+std::vector<double> MeasurementMatrix::BiasColumn() const {
+  std::vector<double> phi0(m_, 0.0);
+  std::vector<double> col(m_);
+  for (size_t j = 0; j < n_; ++j) {
+    FillColumn(j, col.data());
+    for (size_t i = 0; i < m_; ++i) phi0[i] += col[i];
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
+  for (double& v : phi0) v *= scale;
+  return phi0;
+}
+
+}  // namespace csod::cs

@@ -1,0 +1,85 @@
+#ifndef CSOD_CS_MEASUREMENT_MATRIX_H_
+#define CSOD_CS_MEASUREMENT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace csod::cs {
+
+/// \brief The paper's random Gaussian measurement matrix
+/// `Φ0 (M x N, entries i.i.d. N(0, 1/M))`, generated deterministically
+/// from a seed.
+///
+/// Key property (Section 3.1, "by a consensus, each node randomly generates
+/// the same M x N measurement matrix"): entry (i, j) is a pure function of
+/// `(seed, j, i)`, so every node in a distributed system derives the
+/// identical matrix from the shared seed without any matrix transmission,
+/// and individual columns can be regenerated in any order — which is what
+/// OMP's column-selection loop needs.
+///
+/// An optional dense column-major cache trades memory for speed; when
+/// `M * N * 8` exceeds the cache budget the matrix stays implicit and
+/// columns are regenerated on the fly.
+class MeasurementMatrix {
+ public:
+  /// Creates the M x N matrix for `seed`. A dense cache is materialized iff
+  /// the storage fits `cache_budget_bytes` (0 disables caching).
+  MeasurementMatrix(size_t m, size_t n, uint64_t seed,
+                    size_t cache_budget_bytes = kDefaultCacheBudgetBytes);
+
+  size_t m() const { return m_; }
+  size_t n() const { return n_; }
+  uint64_t seed() const { return seed_; }
+  bool cached() const { return !cache_.empty(); }
+
+  /// Entry (row, col) — N(0, 1/M) distributed.
+  double Entry(size_t row, size_t col) const {
+    if (!cache_.empty()) return cache_[col * m_ + row];
+    return GenerateEntry(row, col);
+  }
+
+  /// Writes column `col` (length M) into `out`.
+  void FillColumn(size_t col, double* out) const;
+
+  /// Returns column `col` as a vector.
+  std::vector<double> Column(size_t col) const;
+
+  /// y = Φ0 * x for a dense x of size N.
+  Result<std::vector<double>> Multiply(const std::vector<double>& x) const;
+
+  /// y = Φ0 * x for x given in sparse coordinate form; cost O(nnz * M).
+  /// This is the local-compression fast path: local slices have few
+  /// non-zero keys.
+  Result<std::vector<double>> MultiplySparse(
+      const std::vector<size_t>& indices,
+      const std::vector<double>& values) const;
+
+  /// c = Φ0^T * r (size N), the OMP correlation kernel.
+  Result<std::vector<double>> CorrelateAll(const std::vector<double>& r) const;
+
+  /// Sum of all columns scaled by 1/sqrt(N): the BOMP bias column
+  /// `φ0 = (1/√N) Σ_i φ_i` (Equation 3).
+  std::vector<double> BiasColumn() const;
+
+  static constexpr size_t kDefaultCacheBudgetBytes = size_t{512} << 20;
+
+ private:
+  double GenerateEntry(size_t row, size_t col) const {
+    return CounterGaussian(HashCombine(seed_, col)).At(row) * inv_sqrt_m_;
+  }
+
+  size_t m_;
+  size_t n_;
+  uint64_t seed_;
+  double inv_sqrt_m_;
+  // Column-major cache (cache_[col * m_ + row]) or empty when implicit.
+  std::vector<double> cache_;
+};
+
+}  // namespace csod::cs
+
+#endif  // CSOD_CS_MEASUREMENT_MATRIX_H_

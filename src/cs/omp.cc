@@ -1,0 +1,111 @@
+#include "cs/omp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "la/incremental_qr.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+
+Result<OmpResult> RunOmp(const Dictionary& dictionary,
+                         const std::vector<double>& y,
+                         const OmpOptions& options) {
+  const size_t m = dictionary.atom_length();
+  const size_t num_atoms = dictionary.num_atoms();
+  if (y.size() != m) {
+    return Status::InvalidArgument("RunOmp: y size " +
+                                   std::to_string(y.size()) + " != M " +
+                                   std::to_string(m));
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("RunOmp: max_iterations must be > 0");
+  }
+
+  OmpResult result;
+  const double y_norm = la::Norm2(y);
+  if (y_norm == 0.0) return result;  // Nothing to recover.
+
+  const size_t iteration_cap =
+      std::min({options.max_iterations, m, num_atoms});
+  la::IncrementalQr qr(m);
+  std::vector<double> residual = y;
+  std::vector<bool> selected_mask(num_atoms, false);
+  std::vector<double> atom(m);
+  double prev_residual_norm = y_norm;
+
+  for (size_t iter = 0; iter < iteration_cap; ++iter) {
+    // Statement 4 of Algorithm 2: argmax over unselected atoms of
+    // |<atom_j, r>|.
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> correlations,
+                          dictionary.Correlate(residual));
+    size_t best = num_atoms;
+    double best_abs = -1.0;
+    for (size_t j = 0; j < num_atoms; ++j) {
+      if (selected_mask[j]) continue;
+      const double a = std::fabs(correlations[j]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    if (best == num_atoms || best_abs == 0.0) break;
+
+    dictionary.FillAtom(best, atom.data());
+    CSOD_ASSIGN_OR_RETURN(double ortho_norm, qr.AppendColumn(atom));
+    if (ortho_norm == 0.0) {
+      // Linearly dependent atom: the projection cannot improve; treat as
+      // stagnation (the floating-point regime Section 5 worries about).
+      result.stopped_by_stagnation = true;
+      break;
+    }
+    selected_mask[best] = true;
+    result.selected.push_back(best);
+
+    // Statement 6: r <- y - proj(y, Φs).
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> projection, qr.Project(y));
+    residual = la::Subtract(y, projection);
+    const double residual_norm = la::Norm2(residual);
+    result.residual_norms.push_back(residual_norm);
+    result.iterations = iter + 1;
+
+    std::vector<double> iteration_coeffs;
+    if (options.solve_coefficients_each_iteration ||
+        options.iteration_callback) {
+      if (options.solve_coefficients_each_iteration) {
+        CSOD_ASSIGN_OR_RETURN(iteration_coeffs, qr.SolveLeastSquares(y));
+      }
+      if (options.iteration_callback) {
+        OmpIterationInfo info;
+        info.iteration = iter + 1;
+        info.selected_atom = best;
+        info.residual_norm = residual_norm;
+        info.selected = &result.selected;
+        info.coefficients =
+            options.solve_coefficients_each_iteration ? &iteration_coeffs
+                                                      : nullptr;
+        options.iteration_callback(info);
+      }
+    }
+
+    if (residual_norm <= options.residual_tolerance * y_norm) break;
+    if (options.stop_on_residual_stagnation &&
+        residual_norm >=
+            prev_residual_norm * (1.0 - options.stagnation_tolerance)) {
+      result.stopped_by_stagnation = true;
+      break;
+    }
+    prev_residual_norm = residual_norm;
+  }
+
+  if (!result.selected.empty()) {
+    CSOD_ASSIGN_OR_RETURN(result.coefficients, qr.SolveLeastSquares(y));
+  }
+  result.final_residual_norm =
+      result.residual_norms.empty() ? y_norm : result.residual_norms.back();
+  return result;
+}
+
+}  // namespace csod::cs

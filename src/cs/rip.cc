@@ -1,0 +1,57 @@
+#include "cs/rip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+
+Result<RipEstimate> EstimateRipConstant(const MeasurementMatrix& matrix,
+                                        size_t s, size_t trials,
+                                        uint64_t seed) {
+  if (s == 0 || s > matrix.n()) {
+    return Status::InvalidArgument("EstimateRipConstant: need 0 < s <= N");
+  }
+  if (trials == 0) {
+    return Status::InvalidArgument("EstimateRipConstant: trials must be > 0");
+  }
+
+  Rng rng(seed);
+  RipEstimate estimate;
+  estimate.trials = trials;
+  estimate.min_ratio = 1e300;
+  estimate.max_ratio = -1e300;
+
+  std::vector<size_t> support;
+  std::vector<double> values;
+  for (size_t t = 0; t < trials; ++t) {
+    // Random s-sparse vector: uniform support, Gaussian values.
+    std::unordered_set<size_t> chosen;
+    while (chosen.size() < s) {
+      chosen.insert(static_cast<size_t>(rng.NextBounded(matrix.n())));
+    }
+    support.assign(chosen.begin(), chosen.end());
+    values.resize(s);
+    double norm_sq = 0.0;
+    for (double& v : values) {
+      v = rng.NextGaussian();
+      norm_sq += v * v;
+    }
+    if (norm_sq == 0.0) continue;
+
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
+                          matrix.MultiplySparse(support, values));
+    const double ratio = la::Norm2Squared(y) / norm_sq;
+    estimate.min_ratio = std::min(estimate.min_ratio, ratio);
+    estimate.max_ratio = std::max(estimate.max_ratio, ratio);
+    estimate.delta = std::max(estimate.delta, std::fabs(ratio - 1.0));
+  }
+  return estimate;
+}
+
+}  // namespace csod::cs

@@ -1,0 +1,39 @@
+#ifndef CSOD_CS_RIP_H_
+#define CSOD_CS_RIP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "cs/measurement_matrix.h"
+
+namespace csod::cs {
+
+/// Result of a restricted-isometry probe.
+struct RipEstimate {
+  /// max over sampled s-sparse x of | ||Φx||² / ||x||² − 1 | — a Monte
+  /// Carlo lower bound on the RIP constant δ_s.
+  double delta = 0.0;
+  /// Extremes of the observed energy ratio ||Φx||² / ||x||².
+  double min_ratio = 1.0;
+  double max_ratio = 1.0;
+  size_t trials = 0;
+};
+
+/// \brief Monte Carlo probe of the restricted isometry property (RIP) of
+/// a measurement matrix at sparsity level s.
+///
+/// Theorem 1 rests on the measurement matrix behaving near-isometrically
+/// on sparse vectors ([5] in the paper: i.i.d. Gaussian matrices satisfy
+/// RIP with high probability once M = O(s log(N/s))). This utility samples
+/// random s-sparse unit vectors (Gaussian values on uniform supports) and
+/// reports the worst observed energy distortion — a practical diagnostic
+/// for choosing M, and the empirical backdrop of the Section 4
+/// conjectures. A Monte Carlo probe lower-bounds the true δ_s.
+Result<RipEstimate> EstimateRipConstant(const MeasurementMatrix& matrix,
+                                        size_t s, size_t trials,
+                                        uint64_t seed);
+
+}  // namespace csod::cs
+
+#endif  // CSOD_CS_RIP_H_

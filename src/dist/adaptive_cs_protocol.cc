@@ -1,0 +1,104 @@
+#include "dist/adaptive_cs_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "cs/compressor.h"
+#include "la/vector_ops.h"
+
+namespace csod::dist {
+
+Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
+                                                    size_t k,
+                                                    CommStats* comm) {
+  if (comm == nullptr) {
+    return Status::InvalidArgument(
+        "AdaptiveCsProtocol: comm must not be null");
+  }
+  if (options_.initial_m == 0 || options_.max_m < options_.initial_m) {
+    return Status::InvalidArgument(
+        "AdaptiveCsProtocol: need 0 < initial_m <= max_m");
+  }
+  if (options_.growth <= 1.0) {
+    return Status::InvalidArgument("AdaptiveCsProtocol: growth must be > 1");
+  }
+  if (cluster.num_nodes() == 0) {
+    return Status::FailedPrecondition("AdaptiveCsProtocol: empty cluster");
+  }
+
+  rounds_.clear();
+  last_recovery_ = cs::BompResult{};
+  const size_t n = cluster.key_space_size();
+  const size_t iterations = options_.iterations == 0
+                                ? cs::DefaultIterationsForK(k)
+                                : options_.iterations;
+
+  size_t prev_m = 0;
+  size_t m = std::min(options_.initial_m, options_.max_m);
+  std::vector<size_t> previous_topk;
+  while (true) {
+    comm->BeginRound();
+    // Every node transmits only the new measurement rows [prev_m, m); the
+    // previously shipped prefix is rescaled at the aggregator (row-prefix
+    // property — see the class comment). In the simulator we recompute the
+    // full compression per round for simplicity; the *accounting* charges
+    // exactly the incremental rows, which is what the real system ships.
+    cs::MeasurementMatrix matrix(m, n, options_.seed,
+                                 options_.cache_budget_bytes);
+    cs::Compressor compressor(&matrix);
+    std::vector<std::vector<double>> measurements;
+    measurements.reserve(cluster.num_nodes());
+    for (NodeId id : cluster.NodeIds()) {
+      CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
+      CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                            compressor.Compress(*slice));
+      comm->Account("adaptive-measurements", m - prev_m, kMeasurementBytes);
+      measurements.push_back(std::move(y_l));
+    }
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
+                          cs::Compressor::AggregateMeasurements(measurements));
+
+    cs::BompOptions bomp_options;
+    bomp_options.max_iterations = iterations;
+    CSOD_ASSIGN_OR_RETURN(last_recovery_, cs::RunBomp(matrix, y, bomp_options));
+
+    const outlier::OutlierSet detected =
+        outlier::KOutliersFromRecovery(last_recovery_, k);
+    std::vector<size_t> topk_keys;
+    topk_keys.reserve(detected.outliers.size());
+    for (const auto& o : detected.outliers) topk_keys.push_back(o.key_index);
+    std::sort(topk_keys.begin(), topk_keys.end());
+
+    const double y_norm = la::Norm2(y);
+    AdaptiveRound round;
+    round.m = m;
+    round.relative_residual =
+        y_norm == 0.0 ? 0.0 : last_recovery_.final_residual_norm / y_norm;
+    round.topk_stable =
+        !rounds_.empty() && topk_keys == previous_topk && !topk_keys.empty();
+    // The residual only certifies the recovery when the system is
+    // genuinely under-determined: as R approaches m, OMP can explain
+    // *any* y (R selected atoms span most of R^m) without identifying
+    // the true support. Require at least half the measurement dimensions
+    // to be unexplained degrees of freedom — then a near-zero residual
+    // is a real certificate.
+    const bool residual_meaningful = m >= 2 * iterations;
+    round.accepted =
+        (residual_meaningful &&
+         round.relative_residual <= options_.acceptance_residual) ||
+        (options_.accept_on_stable_topk && round.topk_stable);
+    rounds_.push_back(round);
+    previous_topk = std::move(topk_keys);
+
+    if (round.accepted || m >= options_.max_m) break;
+    prev_m = m;
+    m = std::min(options_.max_m,
+                 std::max(m + 1, static_cast<size_t>(
+                                     std::ceil(m * options_.growth))));
+  }
+
+  return outlier::KOutliersFromRecovery(last_recovery_, k);
+}
+
+}  // namespace csod::dist

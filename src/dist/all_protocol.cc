@@ -1,0 +1,28 @@
+#include "dist/all_protocol.h"
+
+namespace csod::dist {
+
+Result<outlier::OutlierSet> AllTransmitProtocol::Run(const Cluster& cluster,
+                                                     size_t k,
+                                                     CommStats* comm) {
+  if (comm == nullptr) {
+    return Status::InvalidArgument(
+        "AllTransmitProtocol: comm must not be null");
+  }
+  if (cluster.num_nodes() == 0) {
+    return Status::FailedPrecondition("AllTransmitProtocol: empty cluster");
+  }
+  comm->BeginRound();
+  for (NodeId id : cluster.NodeIds()) {
+    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
+    if (encoding_ == AllEncoding::kVectorized) {
+      comm->Account("full-vector", cluster.key_space_size(), kValueBytes);
+    } else {
+      comm->Account("kv-pairs", slice->nnz(), kKeyValueBytes);
+    }
+  }
+  // The aggregator now has everything: exact answer.
+  return outlier::ExactKOutliers(cluster.GlobalAggregate(), k);
+}
+
+}  // namespace csod::dist

@@ -1,0 +1,39 @@
+#ifndef CSOD_DIST_ALL_PROTOCOL_H_
+#define CSOD_DIST_ALL_PROTOCOL_H_
+
+#include "dist/protocol.h"
+
+namespace csod::dist {
+
+/// Wire encoding used by the ALL baseline (Section 6.1.2).
+enum class AllEncoding {
+  /// Each node ships its full dense N-vector (N * 8 bytes). The paper's
+  /// default ALL baseline — cheaper than kv pairs on its production data.
+  kVectorized,
+  /// Each node ships only its non-zero entries as 96-bit keyid-value
+  /// pairs (nnz * 12 bytes).
+  kKeyValue,
+};
+
+/// \brief Baseline ALL: every node transmits its entire slice; the
+/// aggregator computes the exact global aggregate and the exact
+/// k-outliers. Accuracy is perfect; communication is the yardstick
+/// everything else is normalized by.
+class AllTransmitProtocol final : public OutlierProtocol {
+ public:
+  explicit AllTransmitProtocol(AllEncoding encoding = AllEncoding::kVectorized)
+      : encoding_(encoding) {}
+
+  Result<outlier::OutlierSet> Run(const Cluster& cluster, size_t k,
+                                  CommStats* comm) override;
+  std::string name() const override {
+    return encoding_ == AllEncoding::kVectorized ? "ALL(vector)" : "ALL(kv)";
+  }
+
+ private:
+  AllEncoding encoding_;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_ALL_PROTOCOL_H_

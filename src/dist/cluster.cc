@@ -1,0 +1,85 @@
+#include "dist/cluster.h"
+
+#include <cmath>
+#include <string>
+
+namespace csod::dist {
+
+namespace {
+
+// Validates indices against the key space and rejects non-finite values
+// (a NaN in one slice would silently poison the whole aggregation).
+Status ValidateSlice(const cs::SparseSlice& slice, size_t key_space_size,
+                     const char* op) {
+  if (slice.indices.size() != slice.values.size()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   ": slice index/value size mismatch");
+  }
+  for (size_t idx : slice.indices) {
+    if (idx >= key_space_size) {
+      return Status::OutOfRange(std::string(op) + ": key index " +
+                                std::to_string(idx) + " out of key space " +
+                                std::to_string(key_space_size));
+    }
+  }
+  for (double v : slice.values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(std::string(op) +
+                                     ": non-finite value in slice");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<NodeId> Cluster::AddNode(cs::SparseSlice slice) {
+  CSOD_RETURN_NOT_OK(ValidateSlice(slice, key_space_size_, "AddNode"));
+  const NodeId id = next_id_++;
+  slices_.emplace(id, std::move(slice));
+  return id;
+}
+
+Status Cluster::RemoveNode(NodeId id) {
+  if (slices_.erase(id) == 0) {
+    return Status::NotFound("RemoveNode: no node " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status Cluster::UpdateNode(NodeId id, cs::SparseSlice slice) {
+  auto it = slices_.find(id);
+  if (it == slices_.end()) {
+    return Status::NotFound("UpdateNode: no node " + std::to_string(id));
+  }
+  CSOD_RETURN_NOT_OK(ValidateSlice(slice, key_space_size_, "UpdateNode"));
+  it->second = std::move(slice);
+  return Status::OK();
+}
+
+Result<const cs::SparseSlice*> Cluster::Slice(NodeId id) const {
+  auto it = slices_.find(id);
+  if (it == slices_.end()) {
+    return Status::NotFound("Slice: no node " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::vector<NodeId> Cluster::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(slices_.size());
+  for (const auto& [id, _] : slices_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<double> Cluster::GlobalAggregate() const {
+  std::vector<double> x(key_space_size_, 0.0);
+  for (const auto& [id, slice] : slices_) {
+    for (size_t k = 0; k < slice.indices.size(); ++k) {
+      x[slice.indices[k]] += slice.values[k];
+    }
+  }
+  return x;
+}
+
+}  // namespace csod::dist

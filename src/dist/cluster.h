@@ -1,0 +1,59 @@
+#ifndef CSOD_DIST_CLUSTER_H_
+#define CSOD_DIST_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/compressor.h"
+
+namespace csod::dist {
+
+/// Identifier of a node (data center) in the simulated cluster.
+using NodeId = uint64_t;
+
+/// \brief A shared-nothing cluster: L nodes, each holding a sparse additive
+/// slice `x_l` of the global data vector (Section 2.1).
+///
+/// Nodes can join and leave (the paper's third challenge: "incremental
+/// addition and removal of data centers involved in the aggregation").
+class Cluster {
+ public:
+  /// Cluster over a key space of size N.
+  explicit Cluster(size_t key_space_size)
+      : key_space_size_(key_space_size) {}
+
+  /// Adds a node holding `slice`; returns its id. Slice indices must be
+  /// within the key space.
+  Result<NodeId> AddNode(cs::SparseSlice slice);
+
+  /// Removes a node; NotFound if absent.
+  Status RemoveNode(NodeId id);
+
+  /// Replaces the slice of an existing node (new data arriving).
+  Status UpdateNode(NodeId id, cs::SparseSlice slice);
+
+  size_t num_nodes() const { return slices_.size(); }
+  size_t key_space_size() const { return key_space_size_; }
+
+  /// The slice of node `id`, or NotFound.
+  Result<const cs::SparseSlice*> Slice(NodeId id) const;
+
+  /// Ids of all live nodes, ascending.
+  std::vector<NodeId> NodeIds() const;
+
+  /// The global aggregate `x = Σ_l x_l` as a dense vector — ground truth
+  /// for tests and for the exact ALL baseline.
+  std::vector<double> GlobalAggregate() const;
+
+ private:
+  size_t key_space_size_;
+  NodeId next_id_ = 0;
+  std::map<NodeId, cs::SparseSlice> slices_;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_CLUSTER_H_

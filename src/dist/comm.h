@@ -1,0 +1,52 @@
+#ifndef CSOD_DIST_COMM_H_
+#define CSOD_DIST_COMM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace csod::dist {
+
+/// Tuple sizes used for communication accounting, matching Section 6.1.2:
+/// values and measurements are 64 bits, keyid-value pairs are 96 bits.
+inline constexpr uint64_t kValueBytes = 8;        ///< S_v
+inline constexpr uint64_t kKeyValueBytes = 12;    ///< S_t
+inline constexpr uint64_t kMeasurementBytes = 8;  ///< S_M
+
+/// \brief Byte-exact communication accounting for a protocol run.
+///
+/// Every transmission in the cluster simulator is recorded here; the
+/// Figure 7/8 x-axis ("communication cost normalized by transmitting ALL")
+/// is computed from these counters.
+class CommStats {
+ public:
+  /// Records a transmission of `tuples` tuples of `bytes_per_tuple` bytes
+  /// under a phase label (e.g. "measurements", "round1-sample").
+  void Account(const std::string& phase, uint64_t tuples,
+               uint64_t bytes_per_tuple) {
+    bytes_total_ += tuples * bytes_per_tuple;
+    tuples_total_ += tuples;
+    bytes_by_phase_[phase] += tuples * bytes_per_tuple;
+  }
+
+  /// Marks the start of a new communication round (single-round protocols
+  /// call this once; K+δ three times; TA once per iteration).
+  void BeginRound() { ++rounds_; }
+
+  uint64_t bytes_total() const { return bytes_total_; }
+  uint64_t tuples_total() const { return tuples_total_; }
+  uint64_t rounds() const { return rounds_; }
+  const std::map<std::string, uint64_t>& bytes_by_phase() const {
+    return bytes_by_phase_;
+  }
+
+ private:
+  uint64_t bytes_total_ = 0;
+  uint64_t tuples_total_ = 0;
+  uint64_t rounds_ = 0;
+  std::map<std::string, uint64_t> bytes_by_phase_;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_COMM_H_

@@ -1,0 +1,57 @@
+#include "dist/cs_protocol.h"
+
+#include <string>
+#include <vector>
+
+#include "cs/compressor.h"
+
+namespace csod::dist {
+
+Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
+                                                   size_t k,
+                                                   CommStats* comm) {
+  if (comm == nullptr) {
+    return Status::InvalidArgument("CsOutlierProtocol: comm must not be null");
+  }
+  if (options_.m == 0) {
+    return Status::InvalidArgument("CsOutlierProtocol: m must be > 0");
+  }
+  if (cluster.num_nodes() == 0) {
+    return Status::FailedPrecondition("CsOutlierProtocol: empty cluster");
+  }
+
+  const size_t n = cluster.key_space_size();
+  // Every node derives the same Φ0 from the consensus seed. In the
+  // simulator we instantiate it once and share it; determinism is what
+  // makes this equivalent to per-node generation (tested in
+  // measurement_matrix_test).
+  cs::MeasurementMatrix matrix(options_.m, n, options_.seed,
+                               options_.cache_budget_bytes);
+  cs::Compressor compressor(&matrix);
+
+  // Phase 1+2: local compression and measurement transmission.
+  comm->BeginRound();
+  std::vector<std::vector<double>> measurements;
+  measurements.reserve(cluster.num_nodes());
+  for (NodeId id : cluster.NodeIds()) {
+    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                          compressor.Compress(*slice));
+    comm->Account("measurements", options_.m, kMeasurementBytes);
+    measurements.push_back(std::move(y_l));
+  }
+
+  // Phase 3: global measurement y = Σ y_l (Equation 1).
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
+                        cs::Compressor::AggregateMeasurements(measurements));
+
+  // Phase 4: BOMP recovery (Algorithm 1) and k-outlier extraction.
+  cs::BompOptions bomp_options;
+  bomp_options.max_iterations = options_.iterations == 0
+                                    ? cs::DefaultIterationsForK(k)
+                                    : options_.iterations;
+  CSOD_ASSIGN_OR_RETURN(last_recovery_, cs::RunBomp(matrix, y, bomp_options));
+  return outlier::KOutliersFromRecovery(last_recovery_, k);
+}
+
+}  // namespace csod::dist

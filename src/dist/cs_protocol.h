@@ -1,0 +1,47 @@
+#ifndef CSOD_DIST_CS_PROTOCOL_H_
+#define CSOD_DIST_CS_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cs/bomp.h"
+#include "cs/measurement_matrix.h"
+#include "dist/protocol.h"
+
+namespace csod::dist {
+
+/// Configuration of the CS-based protocol.
+struct CsProtocolOptions {
+  /// Measurement size M (the per-node communication budget, in tuples).
+  size_t m = 0;
+  /// The consensus seed all nodes derive Φ0 from.
+  uint64_t seed = 1;
+  /// BOMP iteration budget R; 0 selects the paper's default f(k) ∈ [2k,5k].
+  size_t iterations = 0;
+  /// Dense-cache budget for the measurement matrix.
+  size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+};
+
+/// \brief The paper's CS-based single-round protocol (Figure 2):
+/// local compression → measurement transmission → global measurement →
+/// BOMP recovery → k-outlier extraction.
+class CsOutlierProtocol final : public OutlierProtocol {
+ public:
+  explicit CsOutlierProtocol(CsProtocolOptions options)
+      : options_(options) {}
+
+  Result<outlier::OutlierSet> Run(const Cluster& cluster, size_t k,
+                                  CommStats* comm) override;
+  std::string name() const override { return "BOMP"; }
+
+  /// Full recovery diagnostics of the last Run() (mode trace, iterations).
+  const cs::BompResult& last_recovery() const { return last_recovery_; }
+
+ private:
+  CsProtocolOptions options_;
+  cs::BompResult last_recovery_;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_CS_PROTOCOL_H_

@@ -1,0 +1,34 @@
+#ifndef CSOD_DIST_PROTOCOL_H_
+#define CSOD_DIST_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm.h"
+#include "outlier/outlier.h"
+
+namespace csod::dist {
+
+/// \brief A distributed k-outlier protocol running over a simulated
+/// cluster.
+///
+/// Implementations account every transmitted byte in `comm` so that
+/// accuracy-vs-communication trade-offs (Figures 7/8) are measured, not
+/// modeled.
+class OutlierProtocol {
+ public:
+  virtual ~OutlierProtocol() = default;
+
+  /// Runs the protocol, returning the detected k-outlier set and recording
+  /// communication in `comm` (required).
+  virtual Result<outlier::OutlierSet> Run(const Cluster& cluster, size_t k,
+                                          CommStats* comm) = 0;
+
+  /// Short display name ("BOMP", "ALL", "K+delta", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_PROTOCOL_H_

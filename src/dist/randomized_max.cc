@@ -1,0 +1,90 @@
+#include "dist/randomized_max.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace csod::dist {
+
+Result<RandomizedMaxResult> RunRandomizedMax(
+    const Cluster& cluster, const RandomizedMaxOptions& options,
+    CommStats* comm) {
+  if (comm == nullptr) {
+    return Status::InvalidArgument("RunRandomizedMax: comm must not be null");
+  }
+  if (cluster.num_nodes() == 0) {
+    return Status::FailedPrecondition("RunRandomizedMax: empty cluster");
+  }
+  const size_t n = cluster.key_space_size();
+  if (n == 0) {
+    return Status::FailedPrecondition("RunRandomizedMax: empty key space");
+  }
+  size_t repetitions = options.repetitions;
+  if (repetitions == 0) {
+    repetitions = 8 * static_cast<size_t>(
+                          std::ceil(std::log2(static_cast<double>(n) + 1)));
+  }
+
+  // Collect slices once; validate non-negativity (the algorithm's domain).
+  std::vector<const cs::SparseSlice*> slices;
+  for (NodeId id : cluster.NodeIds()) {
+    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
+    for (double v : slice->values) {
+      if (v < 0.0) {
+        return Status::FailedPrecondition(
+            "RunRandomizedMax requires non-negative partial values");
+      }
+    }
+    slices.push_back(slice);
+  }
+
+  // Group membership of key `key` in repetition `rep` — derived from the
+  // shared seed, so every node computes it without coordination.
+  auto group_of = [&](size_t rep, size_t key) -> int {
+    return static_cast<int>(
+        HashCombine(HashCombine(options.seed, rep), key) & 1);
+  };
+
+  std::vector<uint32_t> wins(n, 0);
+  comm->BeginRound();  // All repetitions ship in parallel (single round).
+  for (size_t rep = 0; rep < repetitions; ++rep) {
+    double group_sum[2] = {0.0, 0.0};
+    for (const cs::SparseSlice* slice : slices) {
+      // Each node contributes its two local group sums.
+      for (size_t j = 0; j < slice->indices.size(); ++j) {
+        group_sum[group_of(rep, slice->indices[j])] += slice->values[j];
+      }
+    }
+    const int winner = group_sum[1] > group_sum[0] ? 1 : 0;
+    for (size_t key = 0; key < n; ++key) {
+      if (group_of(rep, key) == winner) ++wins[key];
+    }
+  }
+  // 2 group-sum values per node per repetition.
+  for (size_t l = 0; l < slices.size(); ++l) {
+    comm->Account("group-sums", 2 * repetitions, kValueBytes);
+  }
+
+  // Highest vote count wins; one exact lookup for the reported value.
+  size_t best_key = 0;
+  for (size_t key = 1; key < n; ++key) {
+    if (wins[key] > wins[best_key]) best_key = key;
+  }
+  double exact = 0.0;
+  for (const cs::SparseSlice* slice : slices) {
+    for (size_t j = 0; j < slice->indices.size(); ++j) {
+      if (slice->indices[j] == best_key) exact += slice->values[j];
+    }
+  }
+  comm->Account("final-lookup", slices.size(), kKeyValueBytes);
+
+  RandomizedMaxResult result;
+  result.key_index = best_key;
+  result.value = exact;
+  result.repetitions = repetitions;
+  return result;
+}
+
+}  // namespace csod::dist

@@ -1,0 +1,48 @@
+#ifndef CSOD_DIST_RANDOMIZED_MAX_H_
+#define CSOD_DIST_RANDOMIZED_MAX_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm.h"
+
+namespace csod::dist {
+
+/// Result of a randomized distributed-max run.
+struct RandomizedMaxResult {
+  size_t key_index = 0;
+  /// Exact aggregated value of the reported key (one final exact lookup).
+  double value = 0.0;
+  /// Independent repetitions used.
+  size_t repetitions = 0;
+};
+
+/// Options for RunRandomizedMax.
+struct RandomizedMaxOptions {
+  /// Independent group-sum repetitions (the paper's related work uses
+  /// O((F2/xmax^2) log N) to succeed w.h.p.; more repetitions sharpen the
+  /// vote). 0 = choose 8·log2(N).
+  size_t repetitions = 0;
+  uint64_t seed = 1;
+};
+
+/// \brief The randomized distributed-max algorithm of Kuhn, Locher &
+/// Schmid [26], as discussed in Section 7.1.
+///
+/// Each repetition randomly partitions the key space into two groups;
+/// every node sends the two group sums of its slice (2 values); group
+/// sums add across nodes, and the key with the largest aggregate tends to
+/// land in the heavier group. A key's score is the number of repetitions
+/// in which its group won; the highest-scoring key is returned after one
+/// exact lookup. Communication: repetitions * 2 values per node — sublinear
+/// in N when F2/xmax^2 is small, exactly the regime the paper contrasts
+/// with. Requires non-negative values (the assumption broken by the
+/// k-outlier problem over the reals).
+Result<RandomizedMaxResult> RunRandomizedMax(
+    const Cluster& cluster, const RandomizedMaxOptions& options,
+    CommStats* comm);
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_RANDOMIZED_MAX_H_

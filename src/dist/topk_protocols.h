@@ -1,0 +1,52 @@
+#ifndef CSOD_DIST_TOPK_PROTOCOLS_H_
+#define CSOD_DIST_TOPK_PROTOCOLS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/comm.h"
+#include "outlier/outlier.h"
+
+namespace csod::dist {
+
+/// \brief Distributed top-k protocols from the related work (Section 7.1).
+///
+/// Both assume non-negative partial values, where the partial sum lower-
+/// bounds the aggregate — the assumption the paper points out is violated
+/// by the k-outlier problem over the reals. They are exact on their domain
+/// and serve as the multi-round baselines the single-round CS approach is
+/// contrasted with.
+
+/// Result of a distributed top-k run: keys ranked by aggregated value
+/// (descending) and the communication/rounds spent.
+struct TopKRunResult {
+  std::vector<outlier::Outlier> top;  ///< value-ranked; divergence == value.
+};
+
+/// \brief Fagin's Threshold Algorithm (TA) [19], adapted to L distributed
+/// sorted lists.
+///
+/// Per round, every node releases its next `batch_size` largest (key,
+/// local value) pairs; each newly seen key triggers random-access lookups
+/// of the key's value at every other node (exact aggregate). The threshold
+/// is the sum of the per-node frontier values; the algorithm stops once k
+/// exact aggregates reach the threshold. Requires non-negative values.
+Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
+                                                size_t k, size_t batch_size,
+                                                CommStats* comm);
+
+/// \brief TPUT (Cao & Wang [10]): Three-Phase Uniform Threshold top-k.
+///
+/// Phase 1: every node sends its local top-k; partial sums give a lower
+/// bound τ on the k-th aggregate. Phase 2: the bound τ/L is broadcast and
+/// every node sends all entries ≥ τ/L. Phase 3: exact values of the
+/// surviving candidates are fetched and the exact top-k is returned.
+/// Requires non-negative values.
+Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
+                                  CommStats* comm);
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_TOPK_PROTOCOLS_H_

@@ -1,0 +1,167 @@
+#include "dist/wire_format.h"
+
+#include <cstring>
+
+#include "common/random.h"
+
+namespace csod::dist {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x43534f44;  // "CSOD"
+constexpr uint8_t kKindMeasurement = 1;
+constexpr uint8_t kKindKeyValues = 2;
+constexpr size_t kHeaderSize = 4 + 1 + 8;
+constexpr size_t kChecksumSize = 8;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double ReadDouble(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Rolling SplitMix-based checksum over a byte range (not cryptographic;
+// detects corruption).
+uint64_t Checksum(const char* data, size_t size) {
+  uint64_t h = 0x5bd1e995u ^ size;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    h = HashCombine(h, ReadU64(data + i));
+  }
+  uint64_t tail = 0;
+  if (i < size) {
+    std::memcpy(&tail, data + i, size - i);
+    h = HashCombine(h, tail);
+  }
+  return SplitMix64(h);
+}
+
+void FinishMessage(std::string* out) {
+  AppendU64(out, Checksum(out->data(), out->size()));
+}
+
+// Validates magic/kind/count/checksum; returns the payload pointer.
+Result<const char*> ValidateEnvelope(const std::string& bytes, uint8_t kind,
+                                     size_t payload_unit, uint64_t* count) {
+  if (bytes.size() < kHeaderSize + kChecksumSize) {
+    return Status::InvalidArgument("wire: message too short");
+  }
+  const char* p = bytes.data();
+  if (ReadU32(p) != kMagic) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  if (static_cast<uint8_t>(p[4]) != kind) {
+    return Status::InvalidArgument("wire: unexpected message kind");
+  }
+  *count = ReadU64(p + 5);
+  const size_t expected = kHeaderSize + *count * payload_unit + kChecksumSize;
+  if (bytes.size() != expected) {
+    return Status::InvalidArgument("wire: size mismatch (got " +
+                                   std::to_string(bytes.size()) +
+                                   ", want " + std::to_string(expected) + ")");
+  }
+  const uint64_t stored = ReadU64(p + bytes.size() - kChecksumSize);
+  if (Checksum(p, bytes.size() - kChecksumSize) != stored) {
+    return Status::InvalidArgument("wire: checksum mismatch");
+  }
+  return p + kHeaderSize;
+}
+
+}  // namespace
+
+std::string EncodeMeasurement(const std::vector<double>& y) {
+  std::string out;
+  out.reserve(MeasurementWireSize(y.size()));
+  AppendU32(&out, kMagic);
+  out.push_back(static_cast<char>(kKindMeasurement));
+  AppendU64(&out, y.size());
+  for (double v : y) AppendDouble(&out, v);
+  FinishMessage(&out);
+  return out;
+}
+
+Result<std::vector<double>> DecodeMeasurement(const std::string& bytes) {
+  uint64_t count = 0;
+  CSOD_ASSIGN_OR_RETURN(const char* payload,
+                        ValidateEnvelope(bytes, kKindMeasurement, 8, &count));
+  std::vector<double> y(count);
+  for (uint64_t i = 0; i < count; ++i) y[i] = ReadDouble(payload + 8 * i);
+  return y;
+}
+
+Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice) {
+  if (slice.indices.size() != slice.values.size()) {
+    return Status::InvalidArgument("wire: slice index/value size mismatch");
+  }
+  for (size_t idx : slice.indices) {
+    if (idx > UINT32_MAX) {
+      return Status::OutOfRange("wire: key id " + std::to_string(idx) +
+                                " exceeds 32-bit key space");
+    }
+  }
+  std::string out;
+  out.reserve(KeyValueWireSize(slice.nnz()));
+  AppendU32(&out, kMagic);
+  out.push_back(static_cast<char>(kKindKeyValues));
+  AppendU64(&out, slice.nnz());
+  for (size_t i = 0; i < slice.nnz(); ++i) {
+    AppendU32(&out, static_cast<uint32_t>(slice.indices[i]));
+    AppendDouble(&out, slice.values[i]);
+  }
+  FinishMessage(&out);
+  return out;
+}
+
+Result<cs::SparseSlice> DecodeKeyValues(const std::string& bytes) {
+  uint64_t count = 0;
+  CSOD_ASSIGN_OR_RETURN(const char* payload,
+                        ValidateEnvelope(bytes, kKindKeyValues, 12, &count));
+  cs::SparseSlice slice;
+  slice.indices.reserve(count);
+  slice.values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    slice.indices.push_back(ReadU32(payload + 12 * i));
+    slice.values.push_back(ReadDouble(payload + 12 * i + 4));
+  }
+  return slice;
+}
+
+size_t MeasurementWireSize(size_t m) {
+  return kHeaderSize + 8 * m + kChecksumSize;
+}
+
+size_t KeyValueWireSize(size_t nnz) {
+  return kHeaderSize + 12 * nnz + kChecksumSize;
+}
+
+}  // namespace csod::dist

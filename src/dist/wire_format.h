@@ -1,0 +1,48 @@
+#ifndef CSOD_DIST_WIRE_FORMAT_H_
+#define CSOD_DIST_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/compressor.h"
+
+namespace csod::dist {
+
+/// \brief Binary wire format for what nodes actually transmit.
+///
+/// Two message kinds, matching the paper's accounting:
+///  - a *measurement* message: M 64-bit doubles (the CS protocol's y_l),
+///  - a *key-value* message: (32-bit key id, 64-bit value) pairs, the
+///    96-bit tuples of the baselines (Section 6.1.2).
+///
+/// Layout (little-endian):
+///   [u32 magic][u8 kind][u64 count][payload][u64 xxhash-style checksum]
+///
+/// The checksum covers header + payload; decoding verifies it and every
+/// size field, returning InvalidArgument on any corruption. Encoded sizes
+/// intentionally exceed the paper's idealized tuple counts only by the
+/// fixed header, so CommStats keeps using the idealized sizes.
+
+/// Serializes a measurement vector.
+std::string EncodeMeasurement(const std::vector<double>& y);
+
+/// Parses a measurement message.
+Result<std::vector<double>> DecodeMeasurement(const std::string& bytes);
+
+/// Serializes a sparse key-value slice (32-bit key ids; keys must fit).
+Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice);
+
+/// Parses a key-value message.
+Result<cs::SparseSlice> DecodeKeyValues(const std::string& bytes);
+
+/// Exact on-wire size of an encoded measurement of length m.
+size_t MeasurementWireSize(size_t m);
+
+/// Exact on-wire size of an encoded key-value slice with nnz entries.
+size_t KeyValueWireSize(size_t nnz);
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_WIRE_FORMAT_H_

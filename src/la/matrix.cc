@@ -1,0 +1,77 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <string>
+
+namespace csod::la {
+
+Result<double> Matrix::At(size_t r, size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    return Status::OutOfRange("Matrix::At(" + std::to_string(r) + ", " +
+                              std::to_string(c) + ") out of " +
+                              std::to_string(rows_) + "x" +
+                              std::to_string(cols_));
+  }
+  return data_[r * cols_ + c];
+}
+
+Result<std::vector<double>> Matrix::Multiply(
+    const std::vector<double>& x) const {
+  if (x.size() != cols_) {
+    return Status::InvalidArgument("Multiply: vector size " +
+                                   std::to_string(x.size()) +
+                                   " != cols " + std::to_string(cols_));
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Result<std::vector<double>> Matrix::MultiplyTransposed(
+    const std::vector<double>& x) const {
+  if (x.size() != rows_) {
+    return Status::InvalidArgument("MultiplyTransposed: vector size " +
+                                   std::to_string(x.size()) +
+                                   " != rows " + std::to_string(rows_));
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+Status Matrix::SetColumn(size_t c, const std::vector<double>& v) {
+  if (c >= cols_) {
+    return Status::OutOfRange("SetColumn: column " + std::to_string(c) +
+                              " out of " + std::to_string(cols_));
+  }
+  if (v.size() != rows_) {
+    return Status::InvalidArgument("SetColumn: vector size " +
+                                   std::to_string(v.size()) + " != rows " +
+                                   std::to_string(rows_));
+  }
+  for (size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
+  return Status::OK();
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace csod::la

@@ -1,0 +1,67 @@
+#ifndef CSOD_LA_MATRIX_H_
+#define CSOD_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csod::la {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Small and deliberately simple: the CS recovery path only needs
+/// construction, element access, matrix-vector products, and column
+/// extraction. Sizes are `size_t`; all accessors are bounds-unchecked in
+/// release builds (checked via `At`).
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Unchecked element access.
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Checked element access; returns OutOfRange on bad indices.
+  Result<double> At(size_t r, size_t c) const;
+
+  /// Pointer to the start of row `r` (row-major layout).
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+
+  /// y = A * x. Returns InvalidArgument when x.size() != cols().
+  Result<std::vector<double>> Multiply(const std::vector<double>& x) const;
+
+  /// y = A^T * x. Returns InvalidArgument when x.size() != rows().
+  Result<std::vector<double>> MultiplyTransposed(
+      const std::vector<double>& x) const;
+
+  /// Copy of column `c`.
+  std::vector<double> Column(size_t c) const;
+
+  /// Sets column `c` from `v` (v.size() must equal rows()).
+  Status SetColumn(size_t c, const std::vector<double>& v);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Raw storage (row-major), for kernels that want direct access.
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace csod::la
+
+#endif  // CSOD_LA_MATRIX_H_

@@ -1,0 +1,50 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+namespace csod::la {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2Squared(const std::vector<double>& a) { return Dot(a, a); }
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Norm2Squared(a)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double DistanceL2(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace csod::la

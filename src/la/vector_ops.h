@@ -1,0 +1,40 @@
+#ifndef CSOD_LA_VECTOR_OPS_H_
+#define CSOD_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace csod::la {
+
+/// Dense vectors throughout the library are plain `std::vector<double>`;
+/// this header provides the BLAS-1 kernels the CS recovery path needs.
+
+/// Dot product of two equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& a);
+
+/// Squared Euclidean norm.
+double Norm2Squared(const std::vector<double>& a);
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>* x);
+
+/// Element-wise a - b.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Element-wise a + b.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// ||a - b||_2.
+double DistanceL2(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace csod::la
+
+#endif  // CSOD_LA_VECTOR_OPS_H_

@@ -1,0 +1,54 @@
+#include "mapreduce/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csod::mr {
+
+double ClusterCostModel::Waves(size_t tasks) const {
+  if (tasks == 0) return 0.0;
+  const size_t workers = std::max<size_t>(num_workers, 1);
+  return std::ceil(static_cast<double>(tasks) /
+                   static_cast<double>(workers));
+}
+
+double ClusterCostModel::MapPhaseSeconds(const JobStats& stats) const {
+  if (stats.num_map_tasks == 0) return 0.0;
+  const double parallelism = static_cast<double>(
+      std::min(num_workers, stats.num_map_tasks));
+  const double io_sec =
+      (static_cast<double>(stats.input_bytes) +
+       static_cast<double>(stats.shuffle_bytes)) /
+      disk_bandwidth_bytes_per_sec / parallelism;
+  const double compute_sec =
+      stats.map_compute_sec * compute_scale / parallelism;
+  const double tuple_sec = static_cast<double>(stats.shuffle_tuples) *
+                           per_tuple_cpu_sec / parallelism;
+  return Waves(stats.num_map_tasks) * per_wave_overhead_sec + io_sec +
+         compute_sec + tuple_sec;
+}
+
+double ClusterCostModel::ShuffleSeconds(const JobStats& stats) const {
+  return static_cast<double>(stats.shuffle_bytes) /
+         network_bandwidth_bytes_per_sec;
+}
+
+double ClusterCostModel::ReducePhaseSeconds(const JobStats& stats) const {
+  if (stats.num_reduce_tasks == 0) return 0.0;
+  const double parallelism = static_cast<double>(
+      std::min(num_workers, std::max<size_t>(stats.num_reduce_tasks, 1)));
+  const double merge_sec = static_cast<double>(stats.shuffle_bytes) /
+                           disk_bandwidth_bytes_per_sec / parallelism;
+  const double compute_sec =
+      stats.reduce_compute_sec * compute_scale / parallelism;
+  const double tuple_sec = static_cast<double>(stats.shuffle_tuples) *
+                           per_tuple_cpu_sec / parallelism;
+  return Waves(stats.num_reduce_tasks) * per_wave_overhead_sec +
+         ShuffleSeconds(stats) + merge_sec + compute_sec + tuple_sec;
+}
+
+double ClusterCostModel::EndToEndSeconds(const JobStats& stats) const {
+  return MapPhaseSeconds(stats) + ReducePhaseSeconds(stats);
+}
+
+}  // namespace csod::mr

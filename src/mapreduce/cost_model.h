@@ -1,0 +1,73 @@
+#ifndef CSOD_MAPREDUCE_COST_MODEL_H_
+#define CSOD_MAPREDUCE_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace csod::mr {
+
+/// Raw measurements and counters from one job execution. Compute seconds
+/// are *measured* (the engine really runs the map/reduce functions); byte
+/// counters are exact.
+struct JobStats {
+  size_t num_map_tasks = 0;
+  size_t num_reduce_tasks = 0;
+  /// Wall-clock CPU seconds spent inside map functions (sum over tasks).
+  double map_compute_sec = 0.0;
+  /// Wall-clock CPU seconds spent inside reduce functions (sum over tasks).
+  double reduce_compute_sec = 0.0;
+  /// Bytes read by mappers (input splits).
+  uint64_t input_bytes = 0;
+  /// Bytes written by mappers == bytes shuffled to reducers.
+  uint64_t shuffle_bytes = 0;
+  /// Records emitted by mappers.
+  uint64_t shuffle_tuples = 0;
+  /// Final output records.
+  uint64_t output_records = 0;
+};
+
+/// \brief Analytic timing model of a Hadoop-like cluster, calibrated to the
+/// paper's testbed (Section 6.2: 10 nodes, 1 Gbps network).
+///
+/// The engine executes the real computation on one machine and measures
+/// it; this model composes those measurements with IO times derived from
+/// the exact byte counts. The composition follows the paper's narrative:
+/// mapper time = input IO + map compute + output spill; reducer time =
+/// shuffle transfer (the reducer's "waiting time") + merge IO + reduce
+/// compute. End-to-end = map phase + reduce phase, with per-task
+/// scheduling overhead and wave-based parallelism.
+struct ClusterCostModel {
+  /// Concurrent task slots in the cluster.
+  size_t num_workers = 10;
+  /// Aggregate shuffle bandwidth into the reducers (1 Gbps default).
+  double network_bandwidth_bytes_per_sec = 125.0e6;
+  /// Sequential disk bandwidth per worker.
+  double disk_bandwidth_bytes_per_sec = 100.0e6;
+  /// Fixed scheduling/startup overhead per task wave.
+  double per_wave_overhead_sec = 1.0;
+  /// Scale on measured compute time (1.0 = this machine's speed).
+  double compute_scale = 1.0;
+  /// Per-intermediate-tuple CPU cost (serialization, sort, spill, merge)
+  /// charged once on the map side and once on the reduce side. Calibrated
+  /// to Hadoop 2.4 record handling (~10 µs/record; the slope of the
+  /// paper's Figure 12 traditional-top-k curve implies even more). This is
+  /// what makes shuffling L·N key-value tuples expensive relative to L·M
+  /// measurements on the paper's testbed.
+  double per_tuple_cpu_sec = 10.0e-6;
+
+  /// Number of sequential waves needed to run `tasks` tasks.
+  double Waves(size_t tasks) const;
+
+  /// Simulated duration of the map phase.
+  double MapPhaseSeconds(const JobStats& stats) const;
+  /// Simulated duration of the reduce phase (shuffle + merge + compute).
+  double ReducePhaseSeconds(const JobStats& stats) const;
+  /// Simulated shuffle transfer time alone.
+  double ShuffleSeconds(const JobStats& stats) const;
+  /// Simulated end-to-end job duration.
+  double EndToEndSeconds(const JobStats& stats) const;
+};
+
+}  // namespace csod::mr
+
+#endif  // CSOD_MAPREDUCE_COST_MODEL_H_

@@ -1,0 +1,152 @@
+#ifndef CSOD_MAPREDUCE_ENGINE_H_
+#define CSOD_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "mapreduce/cost_model.h"
+
+namespace csod::mr {
+
+/// \brief Collects (key, value) pairs emitted by a map task and accounts
+/// their shuffle size.
+template <typename K, typename V>
+class Emitter {
+ public:
+  /// `tuple_bytes(key, value)` gives the on-wire size of one pair.
+  explicit Emitter(std::function<uint64_t(const K&, const V&)> tuple_bytes)
+      : tuple_bytes_(std::move(tuple_bytes)) {}
+
+  /// Emits one intermediate pair.
+  void Emit(K key, V value) {
+    bytes_ += tuple_bytes_(key, value);
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::function<uint64_t(const K&, const V&)> tuple_bytes_;
+  uint64_t bytes_ = 0;
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// \brief Declarative description of a MapReduce job over the in-process
+/// engine.
+///
+/// `Input` is one input record; `K`/`V` the intermediate pair; `Out` one
+/// final output record. The map function runs once per split (task level,
+/// so in-mapper combining — the paper's "partial aggregation for each key"
+/// — is expressible). Exactly one of `reduce_fn` (per key group) or
+/// `task_reduce_fn` (whole reduce-task view, needed when the reducer is
+/// not key-local, e.g. CS recovery over the complete measurement vector)
+/// must be provided.
+template <typename Input, typename K, typename V, typename Out>
+struct Job {
+  /// Map task body: consumes one split, emits intermediate pairs.
+  std::function<void(const std::vector<Input>&, Emitter<K, V>*)> map_fn;
+
+  /// Per-key reduce: values of one key group -> output records.
+  std::function<void(const K&, std::vector<V>&, std::vector<Out>*)> reduce_fn;
+
+  /// Task-level reduce: the full key->values view of one reduce task.
+  std::function<void(std::map<K, std::vector<V>>&, std::vector<Out>*)>
+      task_reduce_fn;
+
+  /// On-wire size of one intermediate pair (shuffle accounting). Required.
+  std::function<uint64_t(const K&, const V&)> tuple_bytes;
+
+  /// On-disk size of one input record (input IO accounting).
+  uint64_t input_record_bytes = 16;
+
+  /// Number of reduce tasks (keys are hash-partitioned across them).
+  size_t num_reduce_tasks = 1;
+
+  /// Optional custom partitioner: key -> reduce task. Defaults to
+  /// std::hash.
+  std::function<size_t(const K&)> partition_fn;
+};
+
+/// Result of a job run: the concatenated reducer outputs plus measured
+/// stats (feed them to a ClusterCostModel for simulated timings).
+template <typename Out>
+struct JobResult {
+  std::vector<Out> output;
+  JobStats stats;
+};
+
+/// \brief Executes a Job over the given input splits (one map task per
+/// split), with an exact byte-accounted shuffle.
+///
+/// The engine is deterministic: reduce tasks process keys in sorted order.
+template <typename Input, typename K, typename V, typename Out>
+Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
+                              const Job<Input, K, V, Out>& job) {
+  if (!job.map_fn) {
+    return Status::InvalidArgument("RunJob: map_fn is required");
+  }
+  if (!job.tuple_bytes) {
+    return Status::InvalidArgument("RunJob: tuple_bytes is required");
+  }
+  const bool has_key_reduce = static_cast<bool>(job.reduce_fn);
+  const bool has_task_reduce = static_cast<bool>(job.task_reduce_fn);
+  if (has_key_reduce == has_task_reduce) {
+    return Status::InvalidArgument(
+        "RunJob: exactly one of reduce_fn / task_reduce_fn must be set");
+  }
+  if (job.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("RunJob: num_reduce_tasks must be > 0");
+  }
+
+  JobResult<Out> result;
+  result.stats.num_map_tasks = splits.size();
+  result.stats.num_reduce_tasks = job.num_reduce_tasks;
+
+  auto partition = job.partition_fn
+                       ? job.partition_fn
+                       : std::function<size_t(const K&)>(
+                             [](const K& k) { return std::hash<K>{}(k); });
+
+  // --- Map phase (executed for real, timed). ---
+  // Reduce-task-local group views, keyed in sorted order for determinism.
+  std::vector<std::map<K, std::vector<V>>> groups(job.num_reduce_tasks);
+  Stopwatch map_watch;
+  for (const std::vector<Input>& split : splits) {
+    Emitter<K, V> emitter(job.tuple_bytes);
+    job.map_fn(split, &emitter);
+    result.stats.input_bytes +=
+        static_cast<uint64_t>(split.size()) * job.input_record_bytes;
+    result.stats.shuffle_bytes += emitter.bytes();
+    result.stats.shuffle_tuples += emitter.pairs().size();
+    for (auto& [key, value] : emitter.pairs()) {
+      const size_t task = partition(key) % job.num_reduce_tasks;
+      groups[task][key].push_back(std::move(value));
+    }
+  }
+  result.stats.map_compute_sec = map_watch.ElapsedSeconds();
+
+  // --- Reduce phase (executed for real, timed). ---
+  Stopwatch reduce_watch;
+  for (size_t task = 0; task < job.num_reduce_tasks; ++task) {
+    if (has_task_reduce) {
+      job.task_reduce_fn(groups[task], &result.output);
+    } else {
+      for (auto& [key, values] : groups[task]) {
+        job.reduce_fn(key, values, &result.output);
+      }
+    }
+  }
+  result.stats.reduce_compute_sec = reduce_watch.ElapsedSeconds();
+  result.stats.output_records = result.output.size();
+  return result;
+}
+
+}  // namespace csod::mr
+
+#endif  // CSOD_MAPREDUCE_ENGINE_H_

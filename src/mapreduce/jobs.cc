@@ -1,0 +1,231 @@
+#include "mapreduce/jobs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "common/grid.h"
+#include "common/random.h"
+#include "dist/comm.h"
+#include "mapreduce/engine.h"
+
+namespace csod::mr {
+
+std::vector<std::vector<ScoreEvent>> ExpandSlicesToEvents(
+    const std::vector<cs::SparseSlice>& slices, size_t events_per_key,
+    uint64_t seed) {
+  std::vector<std::vector<ScoreEvent>> splits;
+  splits.reserve(slices.size());
+  Rng rng(seed);
+  for (const cs::SparseSlice& slice : slices) {
+    std::vector<ScoreEvent> events;
+    events.reserve(slice.nnz() * std::max<size_t>(events_per_key, 1));
+    for (size_t j = 0; j < slice.indices.size(); ++j) {
+      const uint64_t key = slice.indices[j];
+      const double value = slice.values[j];
+      if (events_per_key <= 1) {
+        events.push_back(ScoreEvent{key, value});
+        continue;
+      }
+      // Random additive split that sums to `value` exactly: shares are
+      // grid multiples (common/grid.h) and the last event closes the sum.
+      double assigned = 0.0;
+      for (size_t e = 0; e + 1 < events_per_key; ++e) {
+        const double share = QuantizeToGrid(
+            value * rng.NextDouble() * 2.0 /
+            static_cast<double>(events_per_key));
+        events.push_back(ScoreEvent{key, share});
+        assigned += share;
+      }
+      events.push_back(ScoreEvent{key, value - assigned});
+    }
+    splits.push_back(std::move(events));
+  }
+  return splits;
+}
+
+namespace {
+
+// In-mapper combining: aggregate a split's events per key.
+std::unordered_map<uint64_t, double> CombineSplit(
+    const std::vector<ScoreEvent>& split) {
+  std::unordered_map<uint64_t, double> sums;
+  sums.reserve(split.size() / 4 + 1);
+  for (const ScoreEvent& e : split) sums[e.key] += e.score;
+  return sums;
+}
+
+// Map function shared by the traditional jobs: combine then ship
+// 96-bit (keyid, partial sum) tuples.
+void TraditionalMap(const std::vector<ScoreEvent>& split,
+                    Emitter<uint64_t, double>* emitter) {
+  for (const auto& [key, sum] : CombineSplit(split)) {
+    emitter->Emit(key, sum);
+  }
+}
+
+uint64_t KeyValueTupleBytes(const uint64_t&, const double&) {
+  return dist::kKeyValueBytes;
+}
+
+}  // namespace
+
+Result<TopKJobResult> RunTraditionalTopKJob(
+    const std::vector<std::vector<ScoreEvent>>& splits, size_t k,
+    bool combine) {
+  Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
+  if (combine) {
+    job.map_fn = TraditionalMap;
+  } else {
+    // No combiner: one shuffled tuple per raw event.
+    job.map_fn = [](const std::vector<ScoreEvent>& split,
+                    Emitter<uint64_t, double>* emitter) {
+      for (const ScoreEvent& e : split) emitter->Emit(e.key, e.score);
+    };
+  }
+  job.tuple_bytes = KeyValueTupleBytes;
+  job.task_reduce_fn = [k](std::map<uint64_t, std::vector<double>>& groups,
+                           std::vector<outlier::Outlier>* out) {
+    // Merge, then select the k largest aggregates (the reducer-side sort
+    // the paper charges the traditional implementation for).
+    std::vector<outlier::Outlier> all;
+    all.reserve(groups.size());
+    for (auto& [key, values] : groups) {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      all.push_back(outlier::Outlier{static_cast<size_t>(key), sum, sum});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const outlier::Outlier& a, const outlier::Outlier& b) {
+                if (a.value != b.value) return a.value > b.value;
+                return a.key_index < b.key_index;
+              });
+    if (all.size() > k) all.resize(k);
+    for (auto& o : all) out->push_back(o);
+  };
+
+  CSOD_ASSIGN_OR_RETURN(auto run, RunJob(splits, job));
+  TopKJobResult result;
+  result.top = std::move(run.output);
+  result.stats = run.stats;
+  return result;
+}
+
+Result<OutlierJobResult> RunTraditionalOutlierJob(
+    const std::vector<std::vector<ScoreEvent>>& splits, size_t n, size_t k) {
+  Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
+  job.map_fn = TraditionalMap;
+  job.tuple_bytes = KeyValueTupleBytes;
+  double mode = 0.0;
+  job.task_reduce_fn = [n, k, &mode](
+                           std::map<uint64_t, std::vector<double>>& groups,
+                           std::vector<outlier::Outlier>* out) {
+    std::vector<double> x(n, 0.0);
+    for (auto& [key, values] : groups) {
+      if (key >= n) continue;
+      for (double v : values) x[key] += v;
+    }
+    outlier::OutlierSet set = outlier::ExactKOutliers(x, k);
+    mode = set.mode;
+    for (auto& o : set.outliers) out->push_back(o);
+  };
+
+  CSOD_ASSIGN_OR_RETURN(auto run, RunJob(splits, job));
+  OutlierJobResult result;
+  result.outliers.outliers = std::move(run.output);
+  result.outliers.mode = mode;
+  result.stats = run.stats;
+  return result;
+}
+
+Result<CsJobResult> RunCsOutlierJob(
+    const std::vector<std::vector<ScoreEvent>>& splits,
+    const CsJobOptions& options) {
+  if (options.n == 0 || options.m == 0) {
+    return Status::InvalidArgument("RunCsOutlierJob: n and m must be > 0");
+  }
+
+  // Mapper-side matrix: implicit (no dense cache). Every mapper generates
+  // the same Φ0 from the consensus seed (Algorithm 3) and only touches the
+  // columns of its non-zero keys, costing O(nnz * M).
+  cs::MeasurementMatrix mapper_matrix(options.m, options.n, options.seed,
+                                      /*cache_budget_bytes=*/0);
+  cs::Compressor compressor(&mapper_matrix);
+
+  Status map_status = Status::OK();
+  Job<ScoreEvent, uint32_t, double, outlier::Outlier> job;
+  job.map_fn = [&](const std::vector<ScoreEvent>& split,
+                   Emitter<uint32_t, double>* emitter) {
+    // Algorithm 3 (CS-Mapper): partial aggregation, vectorization against
+    // the global key list, then y = Φ0 x.
+    cs::SparseSlice slice;
+    for (const auto& [key, sum] : CombineSplit(split)) {
+      if (key >= options.n) {
+        map_status = Status::OutOfRange(
+            "RunCsOutlierJob: event key " + std::to_string(key) +
+            " out of key list length " + std::to_string(options.n));
+        return;
+      }
+      slice.indices.push_back(key);
+      slice.values.push_back(sum);
+    }
+    auto compressed = compressor.Compress(slice);
+    if (!compressed.ok()) {
+      map_status = compressed.status();
+      return;
+    }
+    const std::vector<double>& y = compressed.Value();
+    for (size_t i = 0; i < y.size(); ++i) {
+      emitter->Emit(static_cast<uint32_t>(i), y[i]);
+    }
+  };
+  // 64-bit measurements on the wire (S_M in Section 6.1.2); the row index
+  // is positional in a real implementation.
+  job.tuple_bytes = [](const uint32_t&, const double&) {
+    return dist::kMeasurementBytes;
+  };
+
+  cs::BompResult recovery;
+  double recovered_mode = 0.0;
+  Status reduce_status = Status::OK();
+  job.task_reduce_fn = [&](std::map<uint32_t, std::vector<double>>& groups,
+                           std::vector<outlier::Outlier>* out) {
+    // Algorithm 4 (CS-Reducer): sum measurement rows into the global y,
+    // regenerate Φ0 from the seed, recover with BOMP.
+    std::vector<double> y(options.m, 0.0);
+    for (auto& [row, values] : groups) {
+      if (row >= options.m) continue;
+      for (double v : values) y[row] += v;
+    }
+    cs::MeasurementMatrix reducer_matrix(options.m, options.n, options.seed,
+                                         options.cache_budget_bytes);
+    cs::BompOptions bomp_options;
+    bomp_options.max_iterations =
+        options.iterations == 0 ? cs::DefaultIterationsForK(options.k)
+                                : options.iterations;
+    auto recovered = cs::RunBomp(reducer_matrix, y, bomp_options);
+    if (!recovered.ok()) {
+      reduce_status = recovered.status();
+      return;
+    }
+    recovery = recovered.MoveValue();
+    outlier::OutlierSet set =
+        outlier::KOutliersFromRecovery(recovery, options.k);
+    recovered_mode = set.mode;
+    for (auto& o : set.outliers) out->push_back(o);
+  };
+
+  CSOD_ASSIGN_OR_RETURN(auto run, RunJob(splits, job));
+  CSOD_RETURN_NOT_OK(map_status);
+  CSOD_RETURN_NOT_OK(reduce_status);
+
+  CsJobResult result;
+  result.outliers.outliers = std::move(run.output);
+  result.outliers.mode = recovered_mode;
+  result.recovery = std::move(recovery);
+  result.stats = run.stats;
+  return result;
+}
+
+}  // namespace csod::mr

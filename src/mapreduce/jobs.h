@@ -1,0 +1,89 @@
+#ifndef CSOD_MAPREDUCE_JOBS_H_
+#define CSOD_MAPREDUCE_JOBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/bomp.h"
+#include "cs/compressor.h"
+#include "mapreduce/cost_model.h"
+#include "outlier/outlier.h"
+
+namespace csod::mr {
+
+/// One raw log record as seen by a mapper: a key (global-dictionary index)
+/// and a score contribution. Thousands of these aggregate into one key's
+/// value — the "partial aggregation" the paper's mappers perform.
+struct ScoreEvent {
+  uint64_t key = 0;
+  double score = 0.0;
+};
+
+/// Expands additive slices into raw event splits: each (key, value) entry
+/// becomes `events_per_key` ScoreEvents whose scores sum to the value
+/// exactly. This gives map tasks realistic aggregation work.
+std::vector<std::vector<ScoreEvent>> ExpandSlicesToEvents(
+    const std::vector<cs::SparseSlice>& slices, size_t events_per_key,
+    uint64_t seed);
+
+/// Result of the traditional (shuffle-everything) top-k job.
+struct TopKJobResult {
+  std::vector<outlier::Outlier> top;  ///< value-ranked, size <= k.
+  JobStats stats;
+};
+
+/// \brief Baseline job of Section 6.2: mappers partially aggregate and
+/// ship every (key, partial sum) pair (96-bit tuples); one reducer merges,
+/// sorts, and outputs the top-k. Shuffle volume grows with the number of
+/// distinct keys.
+///
+/// `combine = false` disables the in-mapper partial aggregation (every raw
+/// event is shuffled) — the ablation showing why the paper's mappers
+/// "locally (and partially) aggregate the scores" before transmitting.
+Result<TopKJobResult> RunTraditionalTopKJob(
+    const std::vector<std::vector<ScoreEvent>>& splits, size_t k,
+    bool combine = true);
+
+/// Result of the traditional exact-outlier job.
+struct OutlierJobResult {
+  outlier::OutlierSet outliers;
+  JobStats stats;
+};
+
+/// Exact k-outlier job with full shuffling: same wire format as the
+/// traditional top-k job, but the reducer computes the mode and the
+/// k-outliers over the dense aggregate (key space size `n`).
+Result<OutlierJobResult> RunTraditionalOutlierJob(
+    const std::vector<std::vector<ScoreEvent>>& splits, size_t n, size_t k);
+
+/// Configuration of the CS-based MapReduce job (Algorithms 3 and 4).
+struct CsJobOptions {
+  size_t n = 0;           ///< Global key-list length N.
+  size_t m = 0;           ///< Measurement size M.
+  size_t k = 5;           ///< Outliers requested.
+  uint64_t seed = 1;      ///< Consensus seed for Φ0.
+  size_t iterations = 0;  ///< R; 0 = the paper's f(k).
+  /// Dense-cache budget for the *reducer-side* matrix (mappers always use
+  /// the implicit column-regenerated form — they only need O(nnz·M) work).
+  size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+};
+
+/// Result of the CS-based job.
+struct CsJobResult {
+  outlier::OutlierSet outliers;
+  cs::BompResult recovery;
+  JobStats stats;
+};
+
+/// \brief CS-Mapper / CS-Reducer job (Section 5): mappers partially
+/// aggregate, vectorize against the global key list, compress with the
+/// seeded Φ0, and ship M 64-bit measurements each; the single reducer sums
+/// the measurement vectors and recovers outliers and mode with BOMP.
+Result<CsJobResult> RunCsOutlierJob(
+    const std::vector<std::vector<ScoreEvent>>& splits,
+    const CsJobOptions& options);
+
+}  // namespace csod::mr
+
+#endif  // CSOD_MAPREDUCE_JOBS_H_

@@ -1,0 +1,79 @@
+#include "outlier/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace csod::outlier {
+
+double RecoveredSum(const cs::BompResult& recovery, size_t n) {
+  double sum = recovery.mode * static_cast<double>(n);
+  for (const cs::RecoveredEntry& e : recovery.entries) {
+    sum += e.value - recovery.mode;
+  }
+  return sum;
+}
+
+Result<double> RecoveredMean(const cs::BompResult& recovery, size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("RecoveredMean: n must be > 0");
+  }
+  return RecoveredSum(recovery, n) / static_cast<double>(n);
+}
+
+Result<double> RecoveredVariance(const cs::BompResult& recovery, size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("RecoveredVariance: n must be > 0");
+  }
+  CSOD_ASSIGN_OR_RETURN(double mean, RecoveredMean(recovery, n));
+  // (n - e) keys sit exactly at the mode; the entries deviate.
+  const double mode_dev = recovery.mode - mean;
+  double acc = mode_dev * mode_dev *
+               static_cast<double>(n - recovery.entries.size());
+  for (const cs::RecoveredEntry& e : recovery.entries) {
+    const double dev = e.value - mean;
+    acc += dev * dev;
+  }
+  return acc / static_cast<double>(n);
+}
+
+Result<double> RecoveredPercentile(const cs::BompResult& recovery, size_t n,
+                                   double p) {
+  if (n == 0) {
+    return Status::InvalidArgument("RecoveredPercentile: n must be > 0");
+  }
+  if (p < 0.0 || p > 100.0) {
+    return Status::InvalidArgument("RecoveredPercentile: p must be in "
+                                   "[0, 100], got " + std::to_string(p));
+  }
+  if (recovery.entries.size() > n) {
+    return Status::InvalidArgument(
+        "RecoveredPercentile: more recovered entries than n");
+  }
+
+  // Nearest-rank over the implicit multiset: `entries` values plus
+  // (n - e) copies of the mode.
+  std::vector<double> values;
+  values.reserve(recovery.entries.size());
+  for (const cs::RecoveredEntry& e : recovery.entries) {
+    values.push_back(e.value);
+  }
+  std::sort(values.begin(), values.end());
+
+  const size_t mode_count = n - values.size();
+  size_t rank =  // 1-based nearest rank.
+      std::max<size_t>(1, static_cast<size_t>(
+                              std::ceil(p / 100.0 * static_cast<double>(n))));
+  rank = std::min(rank, n);
+
+  // Position of the mode block in the implicit sorted order.
+  const size_t below =
+      std::lower_bound(values.begin(), values.end(), recovery.mode) -
+      values.begin();
+  if (rank <= below) return values[rank - 1];
+  if (rank <= below + mode_count) return recovery.mode;
+  return values[rank - 1 - mode_count];
+}
+
+}  // namespace csod::outlier

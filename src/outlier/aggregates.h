@@ -1,0 +1,38 @@
+#ifndef CSOD_OUTLIER_AGGREGATES_H_
+#define CSOD_OUTLIER_AGGREGATES_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "cs/bomp.h"
+
+namespace csod::outlier {
+
+/// \brief Aggregate queries answered directly from a CS recovery.
+///
+/// The paper (Sections 1 and 8) notes that the CS sketch supports "similar
+/// aggregation queries (mean, top-k, percentile, ...)" beyond outliers:
+/// once BOMP has produced (mode b, recovered entries), the full vector is
+/// implicitly `b` everywhere except the entries, so order statistics and
+/// moments follow in O(|entries| log |entries|) without materializing N
+/// values. Exact when the recovery is exact; approximations degrade with
+/// the unrecovered residual otherwise.
+
+/// Sum of the implicit recovered vector of length n.
+double RecoveredSum(const cs::BompResult& recovery, size_t n);
+
+/// Mean of the implicit recovered vector.
+Result<double> RecoveredMean(const cs::BompResult& recovery, size_t n);
+
+/// Population variance of the implicit recovered vector.
+Result<double> RecoveredVariance(const cs::BompResult& recovery, size_t n);
+
+/// Nearest-rank percentile (p in [0, 100]) of the implicit recovered
+/// vector; p = 50 is the median. Returns InvalidArgument for bad p or
+/// n == 0, or when recovered entries exceed n.
+Result<double> RecoveredPercentile(const cs::BompResult& recovery, size_t n,
+                                   double p);
+
+}  // namespace csod::outlier
+
+#endif  // CSOD_OUTLIER_AGGREGATES_H_

@@ -1,0 +1,69 @@
+#include "outlier/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace csod::outlier {
+
+double ErrorOnKey(const OutlierSet& truth, const OutlierSet& estimate) {
+  if (truth.outliers.empty()) return 0.0;
+  std::unordered_set<size_t> truth_keys;
+  truth_keys.reserve(truth.outliers.size());
+  for (const Outlier& o : truth.outliers) truth_keys.insert(o.key_index);
+  size_t hits = 0;
+  for (const Outlier& o : estimate.outliers) {
+    hits += truth_keys.count(o.key_index);
+  }
+  return 1.0 -
+         static_cast<double>(hits) / static_cast<double>(truth.outliers.size());
+}
+
+double ErrorOnValue(const OutlierSet& truth, const OutlierSet& estimate) {
+  if (truth.outliers.empty()) return 0.0;
+  std::vector<double> tv;
+  tv.reserve(truth.outliers.size());
+  for (const Outlier& o : truth.outliers) tv.push_back(o.value);
+  std::vector<double> ev;
+  ev.reserve(truth.outliers.size());
+  for (const Outlier& o : estimate.outliers) ev.push_back(o.value);
+  std::sort(tv.begin(), tv.end(), std::greater<double>());
+  std::sort(ev.begin(), ev.end(), std::greater<double>());
+  // A long estimate keeps its |truth| largest values; a short estimate is
+  // padded with its own mode (an undetected outlier is implicitly reported
+  // as "normal") and re-sorted.
+  if (ev.size() > tv.size()) ev.resize(tv.size());
+  if (ev.size() < tv.size()) {
+    ev.resize(tv.size(), estimate.mode);
+    std::sort(ev.begin(), ev.end(), std::greater<double>());
+  }
+
+  double diff_sq = 0.0;
+  double truth_sq = 0.0;
+  for (size_t i = 0; i < tv.size(); ++i) {
+    const double d = tv[i] - ev[i];
+    diff_sq += d * d;
+    truth_sq += tv[i] * tv[i];
+  }
+  if (truth_sq == 0.0) return diff_sq == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(diff_sq / truth_sq);
+}
+
+ErrorStats ErrorStats::FromSamples(const std::vector<double>& samples) {
+  ErrorStats stats;
+  if (samples.empty()) return stats;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double s : samples) {
+    stats.min = std::min(stats.min, s);
+    stats.max = std::max(stats.max, s);
+    sum += s;
+  }
+  stats.avg = sum / static_cast<double>(samples.size());
+  stats.count = samples.size();
+  return stats;
+}
+
+}  // namespace csod::outlier

@@ -1,0 +1,42 @@
+#ifndef CSOD_OUTLIER_METRICS_H_
+#define CSOD_OUTLIER_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "outlier/outlier.h"
+
+namespace csod::outlier {
+
+/// \brief The paper's two estimation-quality metrics (Section 6.1).
+///
+/// Given the true k-outliers O_T and an estimate O_E (both of size k):
+///  - Error on Key:    EK = 1 - |O_T.Key ∩ O_E.Key| / k        ∈ [0, 1]
+///  - Error on Value:  EV = ||sort(O_T.Value) - sort(O_E.Value)||₂
+///                          / ||O_T.Value||₂
+/// where both value lists are ordered by value before comparison.
+
+/// EK between two outlier sets. When the estimate has fewer than
+/// |truth| keys, the missing keys count as errors.
+double ErrorOnKey(const OutlierSet& truth, const OutlierSet& estimate);
+
+/// EV between two outlier sets. Value lists are sorted descending; a short
+/// estimate is padded with its own mode (the recovered "normal" value).
+/// Returns 0 when the truth has no outliers.
+double ErrorOnValue(const OutlierSet& truth, const OutlierSet& estimate);
+
+/// Aggregate of min/max/mean over repeated trials, as reported in
+/// Figures 5-8 ("MAX, MIN and AVG ... in the 100 runs").
+struct ErrorStats {
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+  size_t count = 0;
+
+  /// Computes stats over `samples`; zeroes when empty.
+  static ErrorStats FromSamples(const std::vector<double>& samples);
+};
+
+}  // namespace csod::outlier
+
+#endif  // CSOD_OUTLIER_METRICS_H_

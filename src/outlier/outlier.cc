@@ -1,0 +1,105 @@
+#include "outlier/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace csod::outlier {
+
+namespace {
+
+// Sorts outliers by divergence descending, ties by key index ascending,
+// then truncates to k.
+void SortAndTruncate(std::vector<Outlier>* outliers, size_t k) {
+  std::sort(outliers->begin(), outliers->end(),
+            [](const Outlier& a, const Outlier& b) {
+              if (a.divergence != b.divergence) {
+                return a.divergence > b.divergence;
+              }
+              return a.key_index < b.key_index;
+            });
+  if (outliers->size() > k) outliers->resize(k);
+}
+
+}  // namespace
+
+double ComputeMode(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  std::unordered_map<double, size_t> counts;
+  counts.reserve(x.size());
+  for (double v : x) ++counts[v];
+  double mode = x.front();
+  size_t best = 0;
+  for (const auto& [value, count] : counts) {
+    if (count > best || (count == best && value < mode)) {
+      best = count;
+      mode = value;
+    }
+  }
+  return mode;
+}
+
+bool IsMajorityDominated(const std::vector<double>& x) {
+  if (x.empty()) return false;
+  std::unordered_map<double, size_t> counts;
+  counts.reserve(x.size());
+  for (double v : x) {
+    if (++counts[v] * 2 > x.size()) return true;
+  }
+  return false;
+}
+
+OutlierSet ExactKOutliers(const std::vector<double>& x, size_t k) {
+  return KOutliersGivenMode(x, ComputeMode(x), k);
+}
+
+OutlierSet KOutliersGivenMode(const std::vector<double>& x, double mode,
+                              size_t k) {
+  OutlierSet result;
+  result.mode = mode;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == mode) continue;
+    result.outliers.push_back(
+        Outlier{i, x[i], std::fabs(x[i] - mode)});
+  }
+  SortAndTruncate(&result.outliers, k);
+  return result;
+}
+
+OutlierSet KOutliersFromRecovery(const cs::BompResult& recovery, size_t k) {
+  OutlierSet result;
+  result.mode = recovery.mode;
+  for (const cs::RecoveredEntry& e : recovery.entries) {
+    const double divergence = std::fabs(e.value - recovery.mode);
+    if (divergence == 0.0) continue;
+    result.outliers.push_back(Outlier{e.index, e.value, divergence});
+  }
+  SortAndTruncate(&result.outliers, k);
+  return result;
+}
+
+std::vector<Outlier> TopK(const std::vector<double>& x, size_t k) {
+  std::vector<Outlier> all;
+  all.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    all.push_back(Outlier{i, x[i], x[i]});
+  }
+  std::sort(all.begin(), all.end(), [](const Outlier& a, const Outlier& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.key_index < b.key_index;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Outlier> AbsoluteTopK(const std::vector<double>& x, size_t k) {
+  std::vector<Outlier> all;
+  all.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    all.push_back(Outlier{i, x[i], std::fabs(x[i])});
+  }
+  SortAndTruncate(&all, k);
+  return all;
+}
+
+}  // namespace csod::outlier

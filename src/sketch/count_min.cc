@@ -1,0 +1,47 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace csod::sketch {
+
+Result<CountMinSketch> CountMinSketch::Create(size_t width, size_t depth,
+                                              uint64_t seed) {
+  if (width == 0 || depth == 0) {
+    return Status::InvalidArgument(
+        "CountMinSketch: width and depth must be > 0");
+  }
+  return CountMinSketch(width, depth, seed);
+}
+
+size_t CountMinSketch::Bucket(size_t row, uint64_t key) const {
+  return static_cast<size_t>(
+      HashCombine(HashCombine(seed_, row), key) % width_);
+}
+
+void CountMinSketch::Update(uint64_t key, double delta) {
+  for (size_t row = 0; row < depth_; ++row) {
+    table_[row * width_ + Bucket(row, key)] += delta;
+  }
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double best = table_[Bucket(0, key)];
+  for (size_t row = 1; row < depth_; ++row) {
+    best = std::min(best, table_[row * width_ + Bucket(row, key)]);
+  }
+  return best;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "CountMinSketch::Merge: incompatible sketch shape or seed");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  return Status::OK();
+}
+
+}  // namespace csod::sketch

@@ -1,0 +1,59 @@
+#ifndef CSOD_SKETCH_COUNT_MIN_H_
+#define CSOD_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csod::sketch {
+
+/// \brief Count-Min sketch (Cormode & Muthukrishnan): a d x w counter
+/// array with per-row hashing; `Estimate` upper-bounds the true count for
+/// non-negative updates.
+///
+/// Included as a representative of the traditional local-sketching
+/// baselines of Section 7.2. Like the CS measurement it is *linear*
+/// (sketches merge by addition), but unlike CS recovery it has no notion
+/// of a global mode: every estimate carries the full bias, which is what
+/// makes it unusable for the distributed outlier problem (ablation bench
+/// `ablation_sketches`).
+class CountMinSketch {
+ public:
+  /// d rows of w counters, hashed from `seed`. width/depth must be > 0.
+  static Result<CountMinSketch> Create(size_t width, size_t depth,
+                                       uint64_t seed);
+
+  /// Adds `delta` (>= 0 for the min-estimate guarantee) to `key`.
+  void Update(uint64_t key, double delta);
+
+  /// Point estimate: min over rows. Over-estimates by at most
+  /// ||x||_1 / width with probability 1 - 2^-depth (non-negative data).
+  double Estimate(uint64_t key) const;
+
+  /// Merges another sketch (same shape and seed required).
+  Status Merge(const CountMinSketch& other);
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
+  /// Counters transmitted when shipping this sketch.
+  size_t num_counters() const { return table_.size(); }
+
+ private:
+  CountMinSketch(size_t width, size_t depth, uint64_t seed)
+      : width_(width), depth_(depth), seed_(seed),
+        table_(width * depth, 0.0) {}
+
+  size_t Bucket(size_t row, uint64_t key) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t seed_;
+  std::vector<double> table_;
+};
+
+}  // namespace csod::sketch
+
+#endif  // CSOD_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,56 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace csod::sketch {
+
+Result<CountSketch> CountSketch::Create(size_t width, size_t depth,
+                                        uint64_t seed) {
+  if (width == 0 || depth == 0) {
+    return Status::InvalidArgument("CountSketch: width and depth must be > 0");
+  }
+  return CountSketch(width, depth, seed);
+}
+
+size_t CountSketch::Bucket(size_t row, uint64_t key) const {
+  return static_cast<size_t>(
+      HashCombine(HashCombine(seed_, row * 2), key) % width_);
+}
+
+double CountSketch::Sign(size_t row, uint64_t key) const {
+  return (HashCombine(HashCombine(seed_, row * 2 + 1), key) & 1) ? 1.0 : -1.0;
+}
+
+void CountSketch::Update(uint64_t key, double delta) {
+  for (size_t row = 0; row < depth_; ++row) {
+    table_[row * width_ + Bucket(row, key)] += Sign(row, key) * delta;
+  }
+}
+
+double CountSketch::Estimate(uint64_t key) const {
+  std::vector<double> estimates(depth_);
+  for (size_t row = 0; row < depth_; ++row) {
+    estimates[row] = Sign(row, key) * table_[row * width_ + Bucket(row, key)];
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + depth_ / 2,
+                   estimates.end());
+  if (depth_ % 2 == 1) return estimates[depth_ / 2];
+  const double upper = estimates[depth_ / 2];
+  const double lower =
+      *std::max_element(estimates.begin(), estimates.begin() + depth_ / 2);
+  return 0.5 * (lower + upper);
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_ ||
+      other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "CountSketch::Merge: incompatible sketch shape or seed");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  return Status::OK();
+}
+
+}  // namespace csod::sketch

@@ -1,0 +1,67 @@
+#include "sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace csod::sketch {
+
+Result<HyperLogLog> HyperLogLog::Create(uint32_t precision, uint64_t seed) {
+  if (precision < 4 || precision > 16) {
+    return Status::InvalidArgument(
+        "HyperLogLog: precision must be in [4, 16]");
+  }
+  return HyperLogLog(precision, seed);
+}
+
+void HyperLogLog::Add(uint64_t key) {
+  const uint64_t h = SplitMix64(key ^ SplitMix64(seed_));
+  const size_t bucket = static_cast<size_t>(h >> (64 - precision_));
+  // Rank of the first set bit in the remaining stream (1-based).
+  const uint64_t rest = (h << precision_) | (uint64_t{1} << (precision_ - 1));
+  const uint8_t rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[bucket] = std::max(registers_[bucket], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  // Standard alpha constants.
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  double estimate = alpha * m * m / inverse_sum;
+
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_ || other.seed_ != seed_) {
+    return Status::InvalidArgument(
+        "HyperLogLog::Merge: incompatible precision or seed");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace csod::sketch

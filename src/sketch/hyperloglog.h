@@ -1,0 +1,51 @@
+#ifndef CSOD_SKETCH_HYPERLOGLOG_H_
+#define CSOD_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csod::sketch {
+
+/// \brief HyperLogLog cardinality estimator (the modern descendant of the
+/// probabilistic counting / LogLog estimators the paper cites for the F0
+/// problem in Section 7.1 [17, 21]).
+///
+/// Estimates the number of distinct keys (the sparsity F0 of the
+/// aggregate) with ~1.04/sqrt(2^precision) relative error using 2^precision
+/// registers. Registers merge by max, so per-node sketches combine exactly
+/// — the distributed F0 protocol is one round of 2^precision bytes per
+/// node. Useful in this library for estimating the data's sparsity s
+/// before choosing the measurement size M.
+class HyperLogLog {
+ public:
+  /// precision in [4, 16]: 2^precision single-byte registers.
+  static Result<HyperLogLog> Create(uint32_t precision, uint64_t seed = 0);
+
+  /// Observes a key (idempotent per distinct key).
+  void Add(uint64_t key);
+
+  /// Current cardinality estimate (with small-range linear counting).
+  double Estimate() const;
+
+  /// Merges another sketch (same precision and seed required).
+  Status Merge(const HyperLogLog& other);
+
+  uint32_t precision() const { return precision_; }
+  uint64_t seed() const { return seed_; }
+  size_t num_registers() const { return registers_.size(); }
+
+ private:
+  HyperLogLog(uint32_t precision, uint64_t seed)
+      : precision_(precision), seed_(seed),
+        registers_(size_t{1} << precision, 0) {}
+
+  uint32_t precision_;
+  uint64_t seed_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace csod::sketch
+
+#endif  // CSOD_SKETCH_HYPERLOGLOG_H_

@@ -1,0 +1,175 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "common/grid.h"
+#include "common/random.h"
+
+namespace csod::workload {
+
+namespace {
+
+// Draws `count` distinct indices from [0, n) using Floyd's algorithm.
+std::vector<size_t> SampleDistinct(size_t count, size_t n, Rng* rng) {
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(count);
+  for (size_t j = n - count; j < n; ++j) {
+    size_t t = static_cast<size_t>(rng->NextBounded(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<size_t>(chosen.begin(), chosen.end());
+}
+
+// Outlier value: mode +/- U(min_div, max_div), random sign.
+double DrawOutlierValue(double mode, double min_div, double max_div,
+                        Rng* rng) {
+  const double magnitude = min_div + (max_div - min_div) * rng->NextDouble();
+  const double sign = (rng->NextU64() & 1) ? 1.0 : -1.0;
+  // Grid quantization keeps distributed re-aggregation bitwise exact (see
+  // common/grid.h).
+  return QuantizeToGrid(mode + sign * magnitude);
+}
+
+}  // namespace
+
+Result<std::vector<double>> GenerateMajorityDominated(
+    const MajorityDominatedOptions& options) {
+  if (options.n == 0) {
+    return Status::InvalidArgument("GenerateMajorityDominated: n must be > 0");
+  }
+  if (options.sparsity >= options.n) {
+    return Status::InvalidArgument(
+        "GenerateMajorityDominated: sparsity " +
+        std::to_string(options.sparsity) + " must be < n " +
+        std::to_string(options.n));
+  }
+  if (options.min_divergence <= 0.0 ||
+      options.max_divergence < options.min_divergence) {
+    return Status::InvalidArgument(
+        "GenerateMajorityDominated: need 0 < min_divergence <= "
+        "max_divergence");
+  }
+  Rng rng(options.seed);
+  std::vector<double> x(options.n, QuantizeToGrid(options.mode));
+  for (size_t idx : SampleDistinct(options.sparsity, options.n, &rng)) {
+    x[idx] = DrawOutlierValue(options.mode, options.min_divergence,
+                              options.max_divergence, &rng);
+  }
+  return x;
+}
+
+Result<std::vector<double>> GeneratePowerLaw(const PowerLawOptions& options) {
+  if (options.n == 0) {
+    return Status::InvalidArgument("GeneratePowerLaw: n must be > 0");
+  }
+  if (options.alpha <= 0.0) {
+    return Status::InvalidArgument("GeneratePowerLaw: alpha must be > 0");
+  }
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("GeneratePowerLaw: scale must be > 0");
+  }
+  Rng rng(options.seed);
+  std::vector<double> x(options.n);
+  const double inv_alpha = 1.0 / options.alpha;
+  for (size_t i = 0; i < options.n; ++i) {
+    const double u = ToOpenUnitDouble(rng.NextU64());
+    x[i] = QuantizeToGrid(options.scale * std::pow(u, -inv_alpha));
+  }
+  return x;
+}
+
+const char* ClickScoreTypeName(ClickScoreType type) {
+  switch (type) {
+    case ClickScoreType::kCoreSearch:
+      return "core-search";
+    case ClickScoreType::kAds:
+      return "ads";
+    case ClickScoreType::kAnswer:
+      return "answer";
+  }
+  return "unknown";
+}
+
+ClickScoreCalibration CalibrationFor(ClickScoreType type) {
+  // N from Section 6.1.2 (10.4K, 9K, 10K keys after predicate filtering);
+  // s from the Figure 9 mode-stabilization iterations (300, 650, 610).
+  switch (type) {
+    case ClickScoreType::kCoreSearch:
+      return {10400, 300};
+    case ClickScoreType::kAds:
+      return {9000, 650};
+    case ClickScoreType::kAnswer:
+      return {10000, 610};
+  }
+  return {10000, 300};
+}
+
+Result<ClickLogData> GenerateClickLog(const ClickLogOptions& options) {
+  const ClickScoreCalibration cal = CalibrationFor(options.score_type);
+  const size_t n = options.n_override ? options.n_override : cal.n;
+  const size_t s =
+      options.sparsity_override ? options.sparsity_override : cal.sparsity;
+  if (s >= n) {
+    return Status::InvalidArgument("GenerateClickLog: sparsity " +
+                                   std::to_string(s) + " must be < n " +
+                                   std::to_string(n));
+  }
+  if (options.jitter_fraction < 0.0 || options.jitter_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "GenerateClickLog: jitter_fraction must be in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+  ClickLogData data;
+  data.mode = QuantizeToGrid(options.mode);
+  data.sparsity = s;
+  data.global.assign(n, data.mode);
+
+  // Small jitter on a fraction of the "normal" keys: production aggregates
+  // concentrate around the mode without equalling it exactly.
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < options.jitter_fraction) {
+      data.global[i] = QuantizeToGrid(
+          data.global[i] + (2.0 * rng.NextDouble() - 1.0) * options.jitter);
+    }
+  }
+
+  // Plant the s true outliers with heavy-tailed (Pareto) divergences — the
+  // production regime where a handful of keys diverge enormously.
+  if (options.divergence_alpha <= 0.0) {
+    return Status::InvalidArgument(
+        "GenerateClickLog: divergence_alpha must be > 0");
+  }
+  data.outlier_indices = SampleDistinct(s, n, &rng);
+  for (size_t idx : data.outlier_indices) {
+    const double u = ToOpenUnitDouble(rng.NextU64());
+    double magnitude = options.min_divergence *
+                       std::pow(u, -1.0 / options.divergence_alpha);
+    magnitude = std::min(magnitude, options.max_divergence);
+    const double sign = (rng.NextU64() & 1) ? 1.0 : -1.0;
+    data.global[idx] = QuantizeToGrid(data.mode + sign * magnitude);
+  }
+  return data;
+}
+
+std::string ClickLogKeyForIndex(size_t i) {
+  // Deterministic structured key covering the production GROUP-BY
+  // attributes. 49 markets and 62 verticals as in the paper's log streams.
+  static const char* kVerticalPool[] = {"web", "image", "video", "news",
+                                        "shopping", "maps", "local"};
+  const size_t day = i % 7;
+  const size_t market = (i / 7) % 49;
+  const size_t vertical = (i / (7 * 49)) % 62;
+  const size_t dc = i % 8;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "2015-05-%02zu|mkt-%02zu|%s-%02zu|url-%zu|DC%zu",
+                day + 1, market, kVerticalPool[vertical % 7], vertical,
+                i, dc + 1);
+  return buf;
+}
+
+}  // namespace csod::workload

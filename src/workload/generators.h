@@ -1,0 +1,113 @@
+#ifndef CSOD_WORKLOAD_GENERATORS_H_
+#define CSOD_WORKLOAD_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csod::workload {
+
+/// \brief Synthetic data set 1 of Section 6.1.1: majority-dominated data.
+///
+/// N observations; N - s equal the mode b exactly; the remaining s
+/// (the outliers) diverge from b by at least `min_divergence`.
+struct MajorityDominatedOptions {
+  size_t n = 1000;
+  size_t sparsity = 50;  ///< s: number of outliers.
+  double mode = 5000.0;  ///< b (the paper sets b = 5000).
+  /// Outlier values are b ± U(min_divergence, max_divergence), random sign.
+  double min_divergence = 100.0;
+  double max_divergence = 10000.0;
+  uint64_t seed = 1;
+};
+
+/// Generates the majority-dominated vector. Outlier positions are uniform
+/// without replacement. Requires sparsity < n.
+Result<std::vector<double>> GenerateMajorityDominated(
+    const MajorityDominatedOptions& options);
+
+/// \brief Synthetic data set 2 of Section 6.1.1: continuous Power-Law
+/// (Pareto) distributed values with skewness parameter alpha.
+///
+/// Values are `scale * U^(-1/alpha)` — heavy-tailed, no two equal, with the
+/// density peaking at `scale` (the distribution's mode in the density
+/// sense, as the paper notes).
+struct PowerLawOptions {
+  size_t n = 10000;
+  double alpha = 0.9;
+  double scale = 1.0;
+  uint64_t seed = 1;
+};
+
+Result<std::vector<double>> GeneratePowerLaw(const PowerLawOptions& options);
+
+/// The three production score types of Section 6.1.2, with the key-space
+/// sizes and sparsities the paper reports (N = 10.4K/9K/10K; mode trace
+/// stabilizes at s ≈ 300/650/610 — Figure 9).
+enum class ClickScoreType {
+  kCoreSearch,
+  kAds,
+  kAnswer,
+};
+
+/// Human-readable name of a score type.
+const char* ClickScoreTypeName(ClickScoreType type);
+
+/// Calibration (N, s) per score type as reported by the paper.
+struct ClickScoreCalibration {
+  size_t n;
+  size_t sparsity;
+};
+ClickScoreCalibration CalibrationFor(ClickScoreType type);
+
+/// \brief Substitute for the paper's proprietary Bing click-log workload.
+///
+/// Produces a *global aggregate* with the production structure the paper
+/// describes: values concentrate near a non-zero mode b but are not exactly
+/// b (a fraction carries small jitter — the "weaker notion of sparse
+/// structure" of Section 2.1), and s keys are true outliers with large
+/// divergence. The per-data-center slices are produced separately by the
+/// partitioners (partitioner.h), which make local distributions unlike the
+/// global one.
+struct ClickLogOptions {
+  ClickScoreType score_type = ClickScoreType::kCoreSearch;
+  /// Override N (0 = use the paper calibration for the score type).
+  size_t n_override = 0;
+  /// Override s (0 = use the paper calibration).
+  size_t sparsity_override = 0;
+  double mode = 1800.0;  ///< Figure 1(a)'s example mode.
+  /// Fraction of non-outlier keys carrying small jitter around the mode.
+  double jitter_fraction = 0.3;
+  /// Jitter magnitude (uniform in [-jitter, +jitter]).
+  double jitter = 2.0;
+  /// Outlier divergences are heavy-tailed (Pareto), matching the
+  /// production aggregates of Figure 1(a): a few keys diverge enormously,
+  /// most outliers are moderate. magnitude = min_divergence * U^(-1/alpha),
+  /// capped at max_divergence; random sign.
+  double min_divergence = 500.0;
+  double max_divergence = 5.0e6;
+  double divergence_alpha = 0.8;
+  uint64_t seed = 1;
+};
+
+/// A generated click-log global aggregate.
+struct ClickLogData {
+  std::vector<double> global;
+  /// Indices of the planted true outliers (size s), unordered.
+  std::vector<size_t> outlier_indices;
+  double mode = 0.0;
+  size_t sparsity = 0;
+};
+
+Result<ClickLogData> GenerateClickLog(const ClickLogOptions& options);
+
+/// Builds the structured key string for index `i` in a click-log key
+/// space: "date|market|vertical|url|datacenter" (the GROUP-BY attributes
+/// of the production query template in Section 6.1.2).
+std::string ClickLogKeyForIndex(size_t i);
+
+}  // namespace csod::workload
+
+#endif  // CSOD_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,64 @@
+#include "workload/key_dictionary.h"
+
+namespace csod::workload {
+
+size_t GlobalKeyDictionary::Intern(const std::string& key) {
+  auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (inserted) keys_.push_back(key);
+  return it->second;
+}
+
+Result<size_t> GlobalKeyDictionary::Lookup(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key not in dictionary: " + key);
+  }
+  return it->second;
+}
+
+Status GlobalKeyDictionary::Save(std::ostream& out) const {
+  for (const std::string& key : keys_) {
+    if (key.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("Save: key contains newline: " + key);
+    }
+    out << key << '\n';
+  }
+  if (!out.good()) {
+    return Status::Internal("Save: stream write failed");
+  }
+  return Status::OK();
+}
+
+Status GlobalKeyDictionary::Load(std::istream& in) {
+  index_.clear();
+  keys_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (index_.count(line)) {
+      return Status::InvalidArgument("Load: duplicate key: " + line);
+    }
+    Intern(line);
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> GlobalKeyDictionary::Merge(
+    const GlobalKeyDictionary& other) {
+  std::vector<size_t> remap;
+  remap.reserve(other.size());
+  for (const std::string& key : other.keys()) {
+    remap.push_back(Intern(key));
+  }
+  return remap;
+}
+
+Result<std::string> GlobalKeyDictionary::KeyOf(size_t index) const {
+  if (index >= keys_.size()) {
+    return Status::OutOfRange("key index " + std::to_string(index) +
+                              " out of dictionary size " +
+                              std::to_string(keys_.size()));
+  }
+  return keys_[index];
+}
+
+}  // namespace csod::workload

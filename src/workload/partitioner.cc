@@ -1,0 +1,141 @@
+#include "workload/partitioner.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/grid.h"
+#include "common/random.h"
+
+namespace csod::workload {
+
+namespace {
+
+// Accumulates per-node (index, value) pairs and finalizes into slices.
+class SliceBuilder {
+ public:
+  explicit SliceBuilder(size_t num_nodes) : slices_(num_nodes) {}
+
+  void Add(size_t node, size_t index, double value) {
+    if (value == 0.0) return;
+    slices_[node].indices.push_back(index);
+    slices_[node].values.push_back(value);
+  }
+
+  std::vector<cs::SparseSlice> Take() { return std::move(slices_); }
+
+ private:
+  std::vector<cs::SparseSlice> slices_;
+};
+
+void SplitUniform(const std::vector<double>& x, size_t num_nodes, Rng* rng,
+                  SliceBuilder* builder) {
+  std::vector<double> weights(num_nodes);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) continue;
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng->NextDouble() + 1e-3;
+      total += w;
+    }
+    // Shares are grid multiples and the last share closes the sum, so the
+    // per-key split re-sums bitwise exactly (common/grid.h).
+    double assigned = 0.0;
+    for (size_t l = 0; l + 1 < num_nodes; ++l) {
+      const double share = QuantizeToGrid(x[i] * (weights[l] / total));
+      builder->Add(l, i, share);
+      assigned += share;
+    }
+    builder->Add(num_nodes - 1, i, x[i] - assigned);
+  }
+}
+
+void SplitSkewed(const std::vector<double>& x,
+                 const PartitionOptions& options, Rng* rng,
+                 SliceBuilder* builder) {
+  const size_t num_nodes = options.num_nodes;
+  const size_t max_hosts = options.max_hosts_per_key == 0
+                               ? num_nodes
+                               : std::min(options.max_hosts_per_key, num_nodes);
+  std::vector<size_t> hosts;
+  std::vector<double> weights;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0 && options.cancellation_noise == 0.0) continue;
+    // Choose 1..max_hosts hosting nodes (with replacement then dedup is
+    // fine for skew; duplicates just merge shares).
+    const size_t h = 1 + rng->NextBounded(max_hosts);
+    hosts.clear();
+    for (size_t j = 0; j < h; ++j) {
+      hosts.push_back(static_cast<size_t>(rng->NextBounded(num_nodes)));
+    }
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+
+    weights.assign(hosts.size(), 0.0);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng->NextDouble() + 1e-3;
+      total += w;
+    }
+    double assigned = 0.0;
+    for (size_t j = 0; j + 1 < hosts.size(); ++j) {
+      const double share = QuantizeToGrid(x[i] * (weights[j] / total));
+      builder->Add(hosts[j], i, share);
+      assigned += share;
+    }
+    builder->Add(hosts.back(), i, x[i] - assigned);
+
+    // Zero-sum cancellation noise: +delta on one node, -delta on another.
+    // Locally this key looks divergent; globally the noise vanishes, so
+    // the aggregated vector is unchanged — the Figure 1 k5 phenomenon.
+    if (options.cancellation_noise > 0.0 && num_nodes >= 2) {
+      const double delta =
+          QuantizeToGrid(options.cancellation_noise * rng->NextDouble());
+      if (delta != 0.0) {
+        const size_t a = static_cast<size_t>(rng->NextBounded(num_nodes));
+        size_t b = static_cast<size_t>(rng->NextBounded(num_nodes - 1));
+        if (b >= a) ++b;
+        builder->Add(a, i, delta);
+        builder->Add(b, i, -delta);
+      }
+    }
+  }
+}
+
+void SplitByKey(const std::vector<double>& x, size_t num_nodes, uint64_t seed,
+                SliceBuilder* builder) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) continue;
+    const size_t node =
+        static_cast<size_t>(HashCombine(seed, i) % num_nodes);
+    builder->Add(node, i, x[i]);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<cs::SparseSlice>> PartitionAdditive(
+    const std::vector<double>& x, const PartitionOptions& options) {
+  if (options.num_nodes == 0) {
+    return Status::InvalidArgument("PartitionAdditive: num_nodes must be > 0");
+  }
+  if (options.cancellation_noise < 0.0) {
+    return Status::InvalidArgument(
+        "PartitionAdditive: cancellation_noise must be >= 0");
+  }
+  SliceBuilder builder(options.num_nodes);
+  Rng rng(options.seed);
+  switch (options.strategy) {
+    case PartitionStrategy::kUniformSplit:
+      SplitUniform(x, options.num_nodes, &rng, &builder);
+      break;
+    case PartitionStrategy::kSkewedSplit:
+      SplitSkewed(x, options, &rng, &builder);
+      break;
+    case PartitionStrategy::kByKey:
+      SplitByKey(x, options.num_nodes, options.seed, &builder);
+      break;
+  }
+  return builder.Take();
+}
+
+}  // namespace csod::workload

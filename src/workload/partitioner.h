@@ -1,0 +1,54 @@
+#ifndef CSOD_WORKLOAD_PARTITIONER_H_
+#define CSOD_WORKLOAD_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cs/compressor.h"
+
+namespace csod::workload {
+
+/// How a global vector is split additively across nodes.
+enum class PartitionStrategy {
+  /// Every key's value is split across all nodes with random positive
+  /// weights. Local slices are dense and individually featureless.
+  kUniformSplit,
+  /// Every key lives on a random subset of nodes, split with random
+  /// weights, plus optional zero-sum "cancellation noise" (± pairs) that
+  /// makes keys look like outliers locally while summing to normal
+  /// globally — the k5 phenomenon of Figure 1. This is the adversarial
+  /// regime for local-estimation baselines like K+δ.
+  kSkewedSplit,
+  /// Every key lives entirely on one node (hash placement). Local outliers
+  /// equal global outliers; the easy regime.
+  kByKey,
+};
+
+/// Options for PartitionAdditive.
+struct PartitionOptions {
+  size_t num_nodes = 8;
+  PartitionStrategy strategy = PartitionStrategy::kSkewedSplit;
+  uint64_t seed = 1;
+  /// kSkewedSplit only: magnitude of the zero-sum noise injected per key
+  /// (two nodes receive +delta/-delta with delta up to this value).
+  double cancellation_noise = 0.0;
+  /// kSkewedSplit only: maximum number of nodes hosting one key
+  /// (0 = up to num_nodes).
+  size_t max_hosts_per_key = 0;
+};
+
+/// \brief Splits a global vector `x` into `num_nodes` sparse slices with
+/// `Σ_l slice_l = x` **exactly** (the additive model of Section 2.1).
+///
+/// Exactness matters: CS aggregation is lossless across nodes
+/// (Equation 1), so any discrepancy would be a partitioner bug, not an
+/// algorithm property. The implementation keeps per-key splits exactly
+/// summing by construction (last share = value - others).
+Result<std::vector<cs::SparseSlice>> PartitionAdditive(
+    const std::vector<double>& x, const PartitionOptions& options);
+
+}  // namespace csod::workload
+
+#endif  // CSOD_WORKLOAD_PARTITIONER_H_

@@ -1,0 +1,120 @@
+#include "outlier/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cs/measurement_matrix.h"
+#include "workload/generators.h"
+
+namespace csod::outlier {
+namespace {
+
+// Exact reference aggregates on a dense vector.
+double ExactMean(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double ExactPercentile(std::vector<double> x, double p) {
+  std::sort(x.begin(), x.end());
+  size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(p / 100.0 * x.size())));
+  rank = std::min(rank, x.size());
+  return x[rank - 1];
+}
+
+cs::BompResult MakeRecovery(double mode,
+                            std::vector<std::pair<size_t, double>> entries) {
+  cs::BompResult r;
+  r.mode = mode;
+  for (auto& [index, value] : entries) {
+    r.entries.push_back(cs::RecoveredEntry{index, value});
+  }
+  return r;
+}
+
+TEST(AggregatesTest, SumAndMean) {
+  // Implicit vector of 10 values: eight 5s, one 25, one -15. Sum = 50.
+  cs::BompResult r = MakeRecovery(5.0, {{0, 25.0}, {3, -15.0}});
+  EXPECT_DOUBLE_EQ(RecoveredSum(r, 10), 50.0);
+  EXPECT_DOUBLE_EQ(RecoveredMean(r, 10).Value(), 5.0);
+}
+
+TEST(AggregatesTest, MeanValidation) {
+  cs::BompResult r = MakeRecovery(1.0, {});
+  EXPECT_FALSE(RecoveredMean(r, 0).ok());
+  EXPECT_FALSE(RecoveredVariance(r, 0).ok());
+}
+
+TEST(AggregatesTest, VarianceMatchesDense) {
+  cs::BompResult r = MakeRecovery(10.0, {{1, 40.0}, {5, -20.0}});
+  const size_t n = 8;
+  std::vector<double> dense(n, 10.0);
+  dense[1] = 40.0;
+  dense[5] = -20.0;
+  const double mean = ExactMean(dense);
+  double var = 0.0;
+  for (double v : dense) var += (v - mean) * (v - mean);
+  var /= n;
+  EXPECT_NEAR(RecoveredVariance(r, n).Value(), var, 1e-12);
+}
+
+TEST(AggregatesTest, PercentileValidation) {
+  cs::BompResult r = MakeRecovery(1.0, {});
+  EXPECT_FALSE(RecoveredPercentile(r, 0, 50).ok());
+  EXPECT_FALSE(RecoveredPercentile(r, 10, -1).ok());
+  EXPECT_FALSE(RecoveredPercentile(r, 10, 101).ok());
+  cs::BompResult too_many = MakeRecovery(0.0, {{0, 1.0}, {1, 2.0}});
+  EXPECT_FALSE(RecoveredPercentile(too_many, 1, 50).ok());
+}
+
+TEST(AggregatesTest, PercentileMatchesDenseReference) {
+  const size_t n = 11;
+  cs::BompResult r =
+      MakeRecovery(100.0, {{0, 5.0}, {1, 50.0}, {2, 300.0}, {3, 900.0}});
+  std::vector<double> dense(n, 100.0);
+  dense[0] = 5.0;
+  dense[1] = 50.0;
+  dense[2] = 300.0;
+  dense[3] = 900.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(RecoveredPercentile(r, n, p).Value(),
+                     ExactPercentile(dense, p))
+        << "p = " << p;
+  }
+}
+
+TEST(AggregatesTest, MedianOfModeDominatedIsMode) {
+  cs::BompResult r = MakeRecovery(1800.0, {{7, 90000.0}, {13, -40000.0}});
+  EXPECT_DOUBLE_EQ(RecoveredPercentile(r, 1000, 50).Value(), 1800.0);
+}
+
+TEST(AggregatesTest, EndToEndFromActualRecovery) {
+  // Aggregates computed from a real BOMP recovery match the dense truth.
+  workload::MajorityDominatedOptions gen;
+  gen.n = 400;
+  gen.sparsity = 10;
+  gen.seed = 77;
+  auto x = workload::GenerateMajorityDominated(gen).MoveValue();
+
+  cs::MeasurementMatrix matrix(140, gen.n, 5);
+  auto y = matrix.Multiply(x).MoveValue();
+  cs::BompOptions options;
+  options.max_iterations = 16;
+  auto recovery = cs::RunBomp(matrix, y, options).MoveValue();
+
+  EXPECT_NEAR(RecoveredMean(recovery, gen.n).Value(), ExactMean(x),
+              std::fabs(ExactMean(x)) * 1e-6);
+  for (double p : {1.0, 50.0, 99.0}) {
+    EXPECT_NEAR(RecoveredPercentile(recovery, gen.n, p).Value(),
+                ExactPercentile(x, p), 1e-6)
+        << "p = " << p;
+  }
+}
+
+}  // namespace
+}  // namespace csod::outlier

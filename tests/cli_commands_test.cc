@@ -1,0 +1,192 @@
+#include "tools/cli_commands.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace csod::tools {
+namespace {
+
+// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + "/csod_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  void Write(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(CliGenerateTest, WritesLoadableFile) {
+  TempFile file("generate.txt");
+  GenerateOptions options;
+  options.n = 300;
+  options.sparsity = 10;
+  options.num_nodes = 4;
+  options.seed = 3;
+  auto written = WriteSyntheticEvents(file.path(), options);
+  ASSERT_TRUE(written.ok());
+  EXPECT_GT(written.Value(), 300u);  // Skewed split: >= one record per key.
+
+  auto loaded = LoadEvents(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.Value().splits.size(), 4u);
+  EXPECT_LE(loaded.Value().key_space, 300u);
+  EXPECT_EQ(loaded.Value().num_records, written.Value());
+}
+
+TEST(CliGenerateTest, RejectsBadPath) {
+  GenerateOptions options;
+  options.n = 100;
+  options.sparsity = 5;
+  EXPECT_FALSE(
+      WriteSyntheticEvents("/nonexistent-dir/x/y.txt", options).ok());
+}
+
+TEST(CliLoadTest, ParsesCommentsAndRecords) {
+  TempFile file("load.txt");
+  file.Write("# comment\n0 3 1.5\n1 2 -4.0\n\n0 3 0.5\n");
+  auto loaded = LoadEvents(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.Value().num_records, 3u);
+  EXPECT_EQ(loaded.Value().splits.size(), 2u);
+  EXPECT_EQ(loaded.Value().key_space, 4u);
+}
+
+TEST(CliLoadTest, RejectsMalformedLine) {
+  TempFile file("bad.txt");
+  file.Write("0 1 2.0\nnot a record\n");
+  auto loaded = LoadEvents(file.path());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":2"), std::string::npos);
+}
+
+TEST(CliLoadTest, RejectsMissingAndEmpty) {
+  EXPECT_FALSE(LoadEvents("/no/such/file").ok());
+  TempFile file("empty.txt");
+  file.Write("# only comments\n");
+  EXPECT_FALSE(LoadEvents(file.path()).ok());
+}
+
+TEST(CliDetectTest, EndToEndFindsPlantedOutliers) {
+  TempFile file("detect.txt");
+  GenerateOptions gen;
+  gen.n = 500;
+  gen.sparsity = 12;
+  gen.num_nodes = 4;
+  gen.mode = 1800.0;
+  gen.seed = 9;
+  ASSERT_TRUE(WriteSyntheticEvents(file.path(), gen).ok());
+  auto events = LoadEvents(file.path()).MoveValue();
+
+  DetectOptions options;
+  options.m = 200;
+  options.k = 3;
+  options.iterations = 20;
+  options.n_override = 500;
+  auto report = RunDetect(events, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.Value().find("k-outliers via BOMP"), std::string::npos);
+  EXPECT_NE(report.Value().find("communication:"), std::string::npos);
+
+  // The detected keys must match the exact reference's keys.
+  auto exact = RunExact(events, options.k);
+  ASSERT_TRUE(exact.ok());
+  // Both reports list "key <id>" lines; the top key must agree.
+  const std::string detect_key = report.Value().substr(
+      report.Value().find("key "), 15);
+  EXPECT_NE(exact.Value().find(detect_key), std::string::npos);
+}
+
+TEST(CliTopKTest, ReportsTopKeys) {
+  TempFile file("topk.txt");
+  file.Write("0 0 5.0\n0 1 100.0\n1 2 60.0\n1 3 1.0\n");
+  auto events = LoadEvents(file.path()).MoveValue();
+  DetectOptions options;
+  options.m = 4;
+  options.k = 2;
+  options.iterations = 4;
+  auto report = RunTopK(events, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.Value().find("top-k via CS recovery"), std::string::npos);
+  EXPECT_NE(report.Value().find("key 1"), std::string::npos);
+}
+
+TEST(CliQueryTest, LoadsCsvAndExecutes) {
+  TempFile file("table.csv");
+  file.Write(
+      "# comment\n"
+      "node,Market,Score\n"
+      "0,us,100\n"
+      "0,de,100\n"
+      "1,us,100\n"
+      "1,de,100\n"
+      "1,jp,100\n"
+      "0,jp,-50000\n");
+  auto table = LoadCsvTable(file.path());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().columns,
+            (std::vector<std::string>{"Market", "Score"}));
+  EXPECT_EQ(table.Value().node_rows.size(), 2u);
+
+  DetectOptions options;
+  options.m = 3;
+  options.iterations = 3;
+  auto report = RunQuery(
+      table.Value(),
+      "SELECT Outlier 1 SUM(Score), Market FROM t GROUP BY Market",
+      options);
+  ASSERT_TRUE(report.ok());
+  // The broken market tops the answer with its exact aggregate. (At
+  // M = N the tiny system is fully determined, so the value is exact;
+  // the mode is ambiguous on 3 keys and not asserted.)
+  EXPECT_NE(report.Value().find("jp"), std::string::npos);
+  EXPECT_NE(report.Value().find("-49900.000"), std::string::npos);
+}
+
+TEST(CliQueryTest, CsvErrors) {
+  EXPECT_FALSE(LoadCsvTable("/no/such/table.csv").ok());
+
+  TempFile no_node("no_node.csv");
+  no_node.Write("a,b\n1,2\n");
+  EXPECT_FALSE(LoadCsvTable(no_node.path()).ok());
+
+  TempFile bad_arity("bad_arity.csv");
+  bad_arity.Write("node,a\n0,1,2\n");
+  EXPECT_FALSE(LoadCsvTable(bad_arity.path()).ok());
+
+  TempFile header_only("header_only.csv");
+  header_only.Write("node,a\n");
+  EXPECT_FALSE(LoadCsvTable(header_only.path()).ok());
+}
+
+TEST(CliQueryTest, BadSqlSurfaces) {
+  TempFile file("q.csv");
+  file.Write("node,g,Score\n0,x,1\n");
+  auto table = LoadCsvTable(file.path());
+  ASSERT_TRUE(table.ok());
+  DetectOptions options;
+  EXPECT_FALSE(RunQuery(table.Value(), "not sql at all", options).ok());
+}
+
+TEST(CliExactTest, CentralizedReference) {
+  TempFile file("exact.txt");
+  file.Write("0 0 10.0\n0 1 10.0\n1 2 10.0\n1 3 500.0\n0 3 -200.0\n");
+  auto events = LoadEvents(file.path()).MoveValue();
+  auto report = RunExact(events, 1);
+  ASSERT_TRUE(report.ok());
+  // Global: {10, 10, 10, 300}; mode 10; outlier = key 3.
+  EXPECT_NE(report.Value().find("key 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csod::tools

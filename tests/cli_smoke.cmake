@@ -1,0 +1,40 @@
+# End-to-end smoke test of the actual `csod` CLI binary: generate a
+# workload file, detect outliers over it, and cross-check against the
+# exact reference. Invoked by CTest with -DCSOD_CLI=<path-to-binary>.
+
+set(events "${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_events.txt")
+
+execute_process(
+  COMMAND "${CSOD_CLI}" generate --out=${events} --n=800 --sparsity=12
+          --nodes=4 --seed=5
+  RESULT_VARIABLE gen_result OUTPUT_VARIABLE gen_out)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "csod generate failed: ${gen_out}")
+endif()
+
+execute_process(
+  COMMAND "${CSOD_CLI}" detect --in=${events} --m=250 --k=3 --iterations=20
+  RESULT_VARIABLE detect_result OUTPUT_VARIABLE detect_out)
+if(NOT detect_result EQUAL 0)
+  message(FATAL_ERROR "csod detect failed: ${detect_out}")
+endif()
+if(NOT detect_out MATCHES "k-outliers via BOMP")
+  message(FATAL_ERROR "detect output missing header: ${detect_out}")
+endif()
+
+execute_process(
+  COMMAND "${CSOD_CLI}" exact --in=${events} --k=3
+  RESULT_VARIABLE exact_result OUTPUT_VARIABLE exact_out)
+if(NOT exact_result EQUAL 0)
+  message(FATAL_ERROR "csod exact failed: ${exact_out}")
+endif()
+
+# The top detected key must appear in the exact reference output.
+string(REGEX MATCH "key [0-9]+" top_key "${detect_out}")
+if(NOT exact_out MATCHES "${top_key}")
+  message(FATAL_ERROR
+          "detect top key '${top_key}' not in exact reference:\n${exact_out}")
+endif()
+
+file(REMOVE "${events}")
+message(STATUS "cli smoke test passed (${top_key})")

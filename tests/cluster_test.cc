@@ -1,0 +1,125 @@
+#include "dist/cluster.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/comm.h"
+
+namespace csod::dist {
+namespace {
+
+cs::SparseSlice MakeSlice(std::vector<size_t> indices,
+                          std::vector<double> values) {
+  cs::SparseSlice slice;
+  slice.indices = std::move(indices);
+  slice.values = std::move(values);
+  return slice;
+}
+
+TEST(ClusterTest, AddNodesAndAggregate) {
+  Cluster cluster(5);
+  ASSERT_TRUE(cluster.AddNode(MakeSlice({0, 2}, {1.0, 3.0})).ok());
+  ASSERT_TRUE(cluster.AddNode(MakeSlice({2, 4}, {-1.0, 2.0})).ok());
+  EXPECT_EQ(cluster.num_nodes(), 2u);
+  EXPECT_EQ(cluster.GlobalAggregate(),
+            (std::vector<double>{1.0, 0.0, 2.0, 0.0, 2.0}));
+}
+
+TEST(ClusterTest, AddNodeRejectsOutOfRangeKey) {
+  Cluster cluster(3);
+  auto result = cluster.AddNode(MakeSlice({5}, {1.0}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cluster.num_nodes(), 0u);
+}
+
+TEST(ClusterTest, RejectsNonFiniteValues) {
+  Cluster cluster(3);
+  EXPECT_FALSE(
+      cluster.AddNode(MakeSlice({0}, {std::nan("")})).ok());
+  EXPECT_FALSE(
+      cluster
+          .AddNode(MakeSlice({1}, {std::numeric_limits<double>::infinity()}))
+          .ok());
+  auto id = cluster.AddNode(MakeSlice({0}, {1.0}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(
+      cluster.UpdateNode(id.Value(), MakeSlice({0}, {std::nan("")})).ok());
+}
+
+TEST(ClusterTest, RejectsMismatchedSlice) {
+  Cluster cluster(3);
+  cs::SparseSlice bad;
+  bad.indices = {0, 1};
+  bad.values = {1.0};
+  EXPECT_FALSE(cluster.AddNode(bad).ok());
+}
+
+TEST(ClusterTest, RemoveNodeUpdatesAggregate) {
+  Cluster cluster(2);
+  auto id1 = cluster.AddNode(MakeSlice({0}, {10.0}));
+  auto id2 = cluster.AddNode(MakeSlice({1}, {20.0}));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(cluster.RemoveNode(id1.Value()).ok());
+  EXPECT_EQ(cluster.num_nodes(), 1u);
+  EXPECT_EQ(cluster.GlobalAggregate(), (std::vector<double>{0.0, 20.0}));
+  EXPECT_FALSE(cluster.RemoveNode(id1.Value()).ok());  // Already gone.
+}
+
+TEST(ClusterTest, UpdateNodeReplacesSlice) {
+  Cluster cluster(2);
+  auto id = cluster.AddNode(MakeSlice({0}, {1.0}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cluster.UpdateNode(id.Value(), MakeSlice({1}, {5.0})).ok());
+  EXPECT_EQ(cluster.GlobalAggregate(), (std::vector<double>{0.0, 5.0}));
+  EXPECT_FALSE(cluster.UpdateNode(99, MakeSlice({0}, {1.0})).ok());
+  EXPECT_FALSE(cluster.UpdateNode(id.Value(), MakeSlice({9}, {1.0})).ok());
+}
+
+TEST(ClusterTest, SliceAccess) {
+  Cluster cluster(4);
+  auto id = cluster.AddNode(MakeSlice({3}, {7.0}));
+  ASSERT_TRUE(id.ok());
+  auto slice = cluster.Slice(id.Value());
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice.Value()->indices, (std::vector<size_t>{3}));
+  EXPECT_FALSE(cluster.Slice(42).ok());
+}
+
+TEST(ClusterTest, NodeIdsAscendingAndStable) {
+  Cluster cluster(1);
+  auto a = cluster.AddNode(MakeSlice({}, {}));
+  auto b = cluster.AddNode(MakeSlice({}, {}));
+  auto c = cluster.AddNode(MakeSlice({}, {}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(cluster.RemoveNode(b.Value()).ok());
+  const std::vector<NodeId> ids = cluster.NodeIds();
+  EXPECT_EQ(ids, (std::vector<NodeId>{a.Value(), c.Value()}));
+  // Ids are never reused.
+  auto d = cluster.AddNode(MakeSlice({}, {}));
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d.Value(), c.Value());
+}
+
+TEST(CommStatsTest, AccountsBytesAndPhases) {
+  CommStats comm;
+  comm.BeginRound();
+  comm.Account("measurements", 100, kMeasurementBytes);
+  comm.Account("measurements", 100, kMeasurementBytes);
+  comm.BeginRound();
+  comm.Account("kv", 10, kKeyValueBytes);
+  EXPECT_EQ(comm.rounds(), 2u);
+  EXPECT_EQ(comm.tuples_total(), 210u);
+  EXPECT_EQ(comm.bytes_total(), 200u * 8 + 10u * 12);
+  EXPECT_EQ(comm.bytes_by_phase().at("measurements"), 1600u);
+  EXPECT_EQ(comm.bytes_by_phase().at("kv"), 120u);
+}
+
+}  // namespace
+}  // namespace csod::dist

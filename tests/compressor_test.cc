@@ -1,0 +1,95 @@
+#include "cs/compressor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cs/measurement_matrix.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+namespace {
+
+TEST(SparseSliceTest, DenseRoundTrip) {
+  std::vector<double> x = {0.0, 1.5, 0.0, -2.0, 0.0};
+  SparseSlice slice = SparseSlice::FromDense(x);
+  EXPECT_EQ(slice.nnz(), 2u);
+  EXPECT_EQ(slice.ToDense(5), x);
+}
+
+TEST(SparseSliceTest, ToDenseAccumulatesDuplicates) {
+  SparseSlice slice;
+  slice.indices = {1, 1, 2};
+  slice.values = {2.0, 3.0, 1.0};
+  const std::vector<double> dense = slice.ToDense(4);
+  EXPECT_EQ(dense, (std::vector<double>{0.0, 5.0, 1.0, 0.0}));
+}
+
+TEST(SparseSliceTest, ToDenseIgnoresOutOfRange) {
+  SparseSlice slice;
+  slice.indices = {0, 9};
+  slice.values = {1.0, 7.0};
+  const std::vector<double> dense = slice.ToDense(2);
+  EXPECT_EQ(dense, (std::vector<double>{1.0, 0.0}));
+}
+
+TEST(CompressorTest, SparseAndDensePathsAgree) {
+  MeasurementMatrix matrix(16, 40, 11);
+  Compressor compressor(&matrix);
+  std::vector<double> x(40, 0.0);
+  x[2] = 3.0;
+  x[30] = -1.5;
+  SparseSlice slice = SparseSlice::FromDense(x);
+  auto dense = compressor.Compress(x);
+  auto sparse = compressor.Compress(slice);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_NEAR(la::DistanceL2(dense.Value(), sparse.Value()), 0.0, 1e-12);
+}
+
+TEST(CompressorTest, LinearityAcrossSlices) {
+  // Equation 1: Σ_l Φ0 x_l == Φ0 Σ_l x_l.
+  const size_t n = 64;
+  MeasurementMatrix matrix(24, n, 5);
+  Compressor compressor(&matrix);
+
+  Rng rng(3);
+  std::vector<std::vector<double>> slices(4, std::vector<double>(n, 0.0));
+  std::vector<double> global(n, 0.0);
+  for (auto& slice : slices) {
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextDouble() < 0.3) {
+        slice[i] = rng.NextGaussian() * 100.0;
+        global[i] += slice[i];
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> measurements;
+  for (const auto& slice : slices) {
+    auto y = compressor.Compress(slice);
+    ASSERT_TRUE(y.ok());
+    measurements.push_back(y.MoveValue());
+  }
+  auto aggregated = Compressor::AggregateMeasurements(measurements);
+  auto direct = compressor.Compress(global);
+  ASSERT_TRUE(aggregated.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(la::DistanceL2(aggregated.Value(), direct.Value()), 1e-9);
+}
+
+TEST(CompressorTest, AggregateErrors) {
+  EXPECT_FALSE(Compressor::AggregateMeasurements({}).ok());
+  EXPECT_FALSE(
+      Compressor::AggregateMeasurements({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(CompressorTest, MeasurementSize) {
+  MeasurementMatrix matrix(7, 20, 1);
+  Compressor compressor(&matrix);
+  EXPECT_EQ(compressor.measurement_size(), 7u);
+}
+
+}  // namespace
+}  // namespace csod::cs

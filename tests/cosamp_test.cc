@@ -1,0 +1,150 @@
+#include "cs/cosamp.h"
+
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cs/measurement_matrix.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+namespace {
+
+TEST(CosampTest, RejectsBadInputs) {
+  MeasurementMatrix matrix(8, 16, 1);
+  MatrixDictionary dict(&matrix);
+  CosampOptions options;
+  std::vector<double> y(8, 1.0);
+  EXPECT_FALSE(RunCosamp(dict, y, options).ok());  // sparsity == 0.
+  options.sparsity = 2;
+  EXPECT_FALSE(RunCosamp(dict, {1.0, 2.0}, options).ok());  // wrong size.
+}
+
+TEST(CosampTest, ZeroMeasurementReturnsEmpty) {
+  MeasurementMatrix matrix(8, 16, 1);
+  MatrixDictionary dict(&matrix);
+  CosampOptions options;
+  options.sparsity = 2;
+  auto result = RunCosamp(dict, std::vector<double>(8, 0.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.Value().selected.empty());
+}
+
+TEST(CosampTest, RecoversExactSupport) {
+  const size_t n = 128;
+  MeasurementMatrix matrix(48, n, 3);
+  std::vector<double> x(n, 0.0);
+  x[5] = 12.0;
+  x[60] = -9.0;
+  x[100] = 20.0;
+  auto y = matrix.Multiply(x).MoveValue();
+
+  MatrixDictionary dict(&matrix);
+  CosampOptions options;
+  options.sparsity = 3;
+  auto result = RunCosamp(dict, y, options);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> support(result.Value().selected.begin(),
+                           result.Value().selected.end());
+  EXPECT_EQ(support, (std::set<size_t>{5, 60, 100}));
+  for (size_t i = 0; i < result.Value().selected.size(); ++i) {
+    EXPECT_NEAR(result.Value().coefficients[i],
+                x[result.Value().selected[i]], 1e-6);
+  }
+  EXPECT_LT(result.Value().final_residual_norm, 1e-6 * la::Norm2(y));
+}
+
+// Property sweep: exact recovery across sizes with generous M.
+class CosampRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(CosampRecoveryTest, ExactRecovery) {
+  const auto [n, s, seed] = GetParam();
+  const size_t m = std::min<size_t>(
+      n, static_cast<size_t>(6.0 * s * std::log(static_cast<double>(n))) + 8);
+  MeasurementMatrix matrix(m, n, seed);
+  Rng rng(seed * 17 + 3);
+  std::vector<double> x(n, 0.0);
+  std::set<size_t> planted;
+  while (planted.size() < s) planted.insert(rng.NextBounded(n));
+  for (size_t p : planted) {
+    x[p] = (rng.NextDouble() + 0.5) * 100.0 *
+           ((rng.NextU64() & 1) ? 1.0 : -1.0);
+  }
+  auto y = matrix.Multiply(x).MoveValue();
+
+  MatrixDictionary dict(&matrix);
+  CosampOptions options;
+  options.sparsity = s;
+  auto result = RunCosamp(dict, y, options);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> recovered(result.Value().selected.begin(),
+                             result.Value().selected.end());
+  EXPECT_EQ(recovered, planted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CosampRecoveryTest,
+    ::testing::Values(std::make_tuple(100, 3, 1), std::make_tuple(256, 6, 2),
+                      std::make_tuple(512, 10, 3),
+                      std::make_tuple(1000, 15, 4)));
+
+TEST(BiasedCosampTest, RecoversUnknownModeData) {
+  const size_t n = 256;
+  const double b = 5000.0;
+  std::vector<double> x(n, b);
+  x[10] = 15000.0;
+  x[99] = -3000.0;
+  x[200] = 11000.0;
+
+  MeasurementMatrix matrix(110, n, 17);
+  auto y = matrix.Multiply(x).MoveValue();
+
+  CosampOptions options;
+  options.sparsity = 3;
+  auto result = RunBiasedCosamp(matrix, y, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.Value().bias_selected);
+  EXPECT_NEAR(result.Value().mode, b, 1e-4);
+  std::vector<double> xhat = result.Value().Materialize(n);
+  EXPECT_LT(la::DistanceL2(xhat, x) / la::Norm2(x), 1e-6);
+}
+
+TEST(BiasedCosampTest, AgreesWithBompOnOutlierKeys) {
+  const size_t n = 400;
+  Rng rng(5);
+  std::vector<double> x(n, 1800.0);
+  std::set<size_t> planted;
+  while (planted.size() < 8) planted.insert(rng.NextBounded(n));
+  for (size_t p : planted) {
+    x[p] = 1800.0 + (rng.NextDouble() + 0.5) * 20000.0 *
+                        ((rng.NextU64() & 1) ? 1.0 : -1.0);
+  }
+  MeasurementMatrix matrix(160, n, 23);
+  auto y = matrix.Multiply(x).MoveValue();
+
+  CosampOptions cosamp_options;
+  cosamp_options.sparsity = 8;
+  auto cosamp = RunBiasedCosamp(matrix, y, cosamp_options).MoveValue();
+
+  BompOptions bomp_options;
+  bomp_options.max_iterations = 12;
+  auto bomp = RunBomp(matrix, y, bomp_options).MoveValue();
+
+  std::set<size_t> cosamp_keys;
+  for (const auto& e : cosamp.entries) cosamp_keys.insert(e.index);
+  std::set<size_t> bomp_keys;
+  for (const auto& e : bomp.entries) bomp_keys.insert(e.index);
+  for (size_t p : planted) {
+    EXPECT_TRUE(cosamp_keys.count(p)) << "CoSaMP missed " << p;
+    EXPECT_TRUE(bomp_keys.count(p)) << "BOMP missed " << p;
+  }
+  EXPECT_NEAR(cosamp.mode, bomp.mode, 1.0);
+}
+
+}  // namespace
+}  // namespace csod::cs

@@ -1,0 +1,92 @@
+#include "mapreduce/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace csod::mr {
+namespace {
+
+JobStats BaseStats() {
+  JobStats stats;
+  stats.num_map_tasks = 10;
+  stats.num_reduce_tasks = 1;
+  stats.map_compute_sec = 5.0;
+  stats.reduce_compute_sec = 2.0;
+  stats.input_bytes = 1'000'000'000;    // 1 GB
+  stats.shuffle_bytes = 100'000'000;    // 100 MB
+  return stats;
+}
+
+TEST(CostModelTest, Waves) {
+  ClusterCostModel model;
+  model.num_workers = 10;
+  EXPECT_DOUBLE_EQ(model.Waves(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Waves(1), 1.0);
+  EXPECT_DOUBLE_EQ(model.Waves(10), 1.0);
+  EXPECT_DOUBLE_EQ(model.Waves(11), 2.0);
+  EXPECT_DOUBLE_EQ(model.Waves(25), 3.0);
+}
+
+TEST(CostModelTest, EndToEndIsSumOfPhases) {
+  ClusterCostModel model;
+  JobStats stats = BaseStats();
+  EXPECT_DOUBLE_EQ(
+      model.EndToEndSeconds(stats),
+      model.MapPhaseSeconds(stats) + model.ReducePhaseSeconds(stats));
+}
+
+TEST(CostModelTest, ShuffleTimeFromBandwidth) {
+  ClusterCostModel model;
+  model.network_bandwidth_bytes_per_sec = 125e6;  // 1 Gbps
+  JobStats stats = BaseStats();
+  EXPECT_NEAR(model.ShuffleSeconds(stats), 0.8, 1e-9);  // 100MB / 125MB/s
+}
+
+TEST(CostModelTest, MoreShuffleBytesSlower) {
+  ClusterCostModel model;
+  JobStats small = BaseStats();
+  JobStats big = BaseStats();
+  big.shuffle_bytes *= 100;
+  EXPECT_LT(model.EndToEndSeconds(small), model.EndToEndSeconds(big));
+  EXPECT_LT(model.ReducePhaseSeconds(small), model.ReducePhaseSeconds(big));
+}
+
+TEST(CostModelTest, MoreComputeSlower) {
+  ClusterCostModel model;
+  JobStats fast = BaseStats();
+  JobStats slow = BaseStats();
+  slow.reduce_compute_sec += 50.0;
+  EXPECT_LT(model.EndToEndSeconds(fast), model.EndToEndSeconds(slow));
+}
+
+TEST(CostModelTest, ComputeScaleApplied) {
+  ClusterCostModel base;
+  ClusterCostModel scaled = base;
+  scaled.compute_scale = 2.0;
+  JobStats stats = BaseStats();
+  stats.input_bytes = 0;
+  stats.shuffle_bytes = 0;
+  const double base_map = base.MapPhaseSeconds(stats);
+  const double scaled_map = scaled.MapPhaseSeconds(stats);
+  // Doubling compute scale doubles the compute share (overhead unchanged).
+  EXPECT_NEAR(scaled_map - base_map, stats.map_compute_sec / 10.0, 1e-9);
+}
+
+TEST(CostModelTest, MoreWorkersFasterMapPhase) {
+  ClusterCostModel few;
+  few.num_workers = 2;
+  ClusterCostModel many;
+  many.num_workers = 10;
+  JobStats stats = BaseStats();
+  EXPECT_GT(few.MapPhaseSeconds(stats), many.MapPhaseSeconds(stats));
+}
+
+TEST(CostModelTest, ZeroTasksZeroTime) {
+  ClusterCostModel model;
+  JobStats stats;
+  EXPECT_DOUBLE_EQ(model.MapPhaseSeconds(stats), 0.0);
+  EXPECT_DOUBLE_EQ(model.ReducePhaseSeconds(stats), 0.0);
+  EXPECT_DOUBLE_EQ(model.EndToEndSeconds(stats), 0.0);
+}
+
+}  // namespace
+}  // namespace csod::mr

@@ -1,0 +1,106 @@
+#include "cs/dictionary.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+namespace {
+
+TEST(MatrixDictionaryTest, MirrorsMatrix) {
+  MeasurementMatrix matrix(6, 10, 3);
+  MatrixDictionary dict(&matrix);
+  EXPECT_EQ(dict.num_atoms(), 10u);
+  EXPECT_EQ(dict.atom_length(), 6u);
+  for (size_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(dict.Atom(j), matrix.Column(j));
+  }
+}
+
+TEST(MatrixDictionaryTest, CorrelateAndMultiplyMatchMatrix) {
+  MeasurementMatrix matrix(6, 10, 3);
+  MatrixDictionary dict(&matrix);
+  Rng rng(7);
+  std::vector<double> r(6);
+  for (double& v : r) v = rng.NextGaussian();
+  EXPECT_EQ(dict.Correlate(r).Value(), matrix.CorrelateAll(r).Value());
+
+  std::vector<double> z(10);
+  for (double& v : z) v = rng.NextGaussian();
+  EXPECT_EQ(dict.MultiplyDense(z).Value(), matrix.Multiply(z).Value());
+}
+
+TEST(ExtendedDictionaryTest, AtomZeroIsBiasColumn) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  EXPECT_EQ(dict.num_atoms(), 13u);
+  EXPECT_EQ(dict.Atom(0), matrix.BiasColumn());
+  for (size_t j = 1; j < 13; ++j) {
+    EXPECT_EQ(dict.Atom(j), matrix.Column(j - 1));
+  }
+}
+
+TEST(ExtendedDictionaryTest, CorrelatePrependsBiasCorrelation) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  Rng rng(9);
+  std::vector<double> r(8);
+  for (double& v : r) v = rng.NextGaussian();
+  auto c = dict.Correlate(r).MoveValue();
+  ASSERT_EQ(c.size(), 13u);
+  EXPECT_NEAR(c[0], la::Dot(matrix.BiasColumn(), r), 1e-12);
+  auto base = matrix.CorrelateAll(r).MoveValue();
+  for (size_t j = 0; j < 12; ++j) EXPECT_EQ(c[j + 1], base[j]);
+}
+
+TEST(ExtendedDictionaryTest, MultiplyDenseMatchesAtomSum) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  Rng rng(11);
+  std::vector<double> z(13);
+  for (double& v : z) v = rng.NextGaussian();
+
+  auto fast = dict.MultiplyDense(z).MoveValue();
+  std::vector<double> manual(8, 0.0);
+  for (size_t j = 0; j < 13; ++j) {
+    la::Axpy(z[j], dict.Atom(j), &manual);
+  }
+  EXPECT_LT(la::DistanceL2(fast, manual), 1e-10);
+}
+
+TEST(ExtendedDictionaryTest, MultiplyDenseSizeChecked) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  EXPECT_FALSE(dict.MultiplyDense(std::vector<double>(12, 1.0)).ok());
+}
+
+TEST(ExtendedDictionaryTest, MeasurementIdentity) {
+  // Equation 2: Φ0(b·1 + z) == [φ0, Φ0]·[√N b, z].
+  const size_t n = 12;
+  const double b = 7.5;
+  MeasurementMatrix matrix(8, n, 5);
+  ExtendedDictionary dict(&matrix);
+
+  Rng rng(13);
+  std::vector<double> z(n, 0.0);
+  z[2] = 3.0;
+  z[9] = -1.0;
+
+  std::vector<double> x(n, b);
+  for (size_t i = 0; i < n; ++i) x[i] += z[i];
+  auto y_direct = matrix.Multiply(x).MoveValue();
+
+  std::vector<double> extended(n + 1);
+  extended[0] = std::sqrt(static_cast<double>(n)) * b;
+  for (size_t i = 0; i < n; ++i) extended[i + 1] = z[i];
+  auto y_extended = dict.MultiplyDense(extended).MoveValue();
+
+  EXPECT_LT(la::DistanceL2(y_direct, y_extended), 1e-9);
+}
+
+}  // namespace
+}  // namespace csod::cs

@@ -1,0 +1,128 @@
+#include "mapreduce/engine.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod::mr {
+namespace {
+
+// A word-count-style job: inputs are ints, key = value % 3, reduce sums.
+Job<int, int, int, std::pair<int, int>> ModuloCountJob() {
+  Job<int, int, int, std::pair<int, int>> job;
+  job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
+    for (int v : split) out->Emit(v % 3, 1);
+  };
+  job.reduce_fn = [](const int& key, std::vector<int>& values,
+                     std::vector<std::pair<int, int>>* out) {
+    int total = 0;
+    for (int v : values) total += v;
+    out->emplace_back(key, total);
+  };
+  job.tuple_bytes = [](const int&, const int&) { return uint64_t{12}; };
+  job.input_record_bytes = 4;
+  return job;
+}
+
+TEST(EngineTest, CountsCorrectly) {
+  auto job = ModuloCountJob();
+  const std::vector<std::vector<int>> splits = {{0, 1, 2, 3}, {4, 5, 6}};
+  auto result = RunJob(splits, job);
+  ASSERT_TRUE(result.ok());
+  // 0,3,6 -> key 0 (3); 1,4 -> key 1 (2); 2,5 -> key 2 (2).
+  std::map<int, int> counts;
+  for (auto& [k, c] : result.Value().output) counts[k] = c;
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(EngineTest, StatsAccounting) {
+  auto job = ModuloCountJob();
+  const std::vector<std::vector<int>> splits = {{0, 1, 2, 3}, {4, 5, 6}};
+  auto result = RunJob(splits, job);
+  ASSERT_TRUE(result.ok());
+  const JobStats& stats = result.Value().stats;
+  EXPECT_EQ(stats.num_map_tasks, 2u);
+  EXPECT_EQ(stats.num_reduce_tasks, 1u);
+  EXPECT_EQ(stats.input_bytes, 7u * 4);
+  EXPECT_EQ(stats.shuffle_tuples, 7u);  // One pair per record.
+  EXPECT_EQ(stats.shuffle_bytes, 7u * 12);
+  EXPECT_EQ(stats.output_records, 3u);
+  EXPECT_GE(stats.map_compute_sec, 0.0);
+  EXPECT_GE(stats.reduce_compute_sec, 0.0);
+}
+
+TEST(EngineTest, TaskReduceSeesWholePartition) {
+  Job<int, int, int, int> job;
+  job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
+    for (int v : split) out->Emit(v, v);
+  };
+  job.task_reduce_fn = [](std::map<int, std::vector<int>>& groups,
+                          std::vector<int>* out) {
+    out->push_back(static_cast<int>(groups.size()));
+  };
+  job.tuple_bytes = [](const int&, const int&) { return uint64_t{8}; };
+  auto result = RunJob({{1, 2, 3}, {3, 4}}, job);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.Value().output.size(), 1u);
+  EXPECT_EQ(result.Value().output[0], 4);  // Keys 1..4.
+}
+
+TEST(EngineTest, MultipleReduceTasksPartitionKeys) {
+  Job<int, int, int, std::pair<int, int>> job = ModuloCountJob();
+  job.num_reduce_tasks = 3;
+  job.partition_fn = [](const int& key) { return static_cast<size_t>(key); };
+  const std::vector<std::vector<int>> splits = {{0, 1, 2, 3, 4, 5}};
+  auto result = RunJob(splits, job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.Value().stats.num_reduce_tasks, 3u);
+  EXPECT_EQ(result.Value().output.size(), 3u);
+}
+
+TEST(EngineTest, ConfigValidation) {
+  Job<int, int, int, int> job;
+  const std::vector<std::vector<int>> one_split = {{1}};
+  // Missing everything.
+  EXPECT_FALSE(RunJob(one_split, job).ok());
+  job.map_fn = [](const std::vector<int>&, Emitter<int, int>*) {};
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // no tuple_bytes
+  job.tuple_bytes = [](const int&, const int&) { return uint64_t{1}; };
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // no reducer
+  job.reduce_fn = [](const int&, std::vector<int>&, std::vector<int>*) {};
+  job.task_reduce_fn = [](std::map<int, std::vector<int>>&,
+                          std::vector<int>*) {};
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // both set
+  job.task_reduce_fn = nullptr;
+  job.num_reduce_tasks = 0;
+  EXPECT_FALSE(RunJob(one_split, job).ok());
+  job.num_reduce_tasks = 1;
+  EXPECT_TRUE(RunJob(one_split, job).ok());
+}
+
+TEST(EngineTest, EmptySplitsProduceNothing) {
+  auto job = ModuloCountJob();
+  auto result = RunJob(std::vector<std::vector<int>>{}, job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.Value().output.empty());
+  EXPECT_EQ(result.Value().stats.num_map_tasks, 0u);
+}
+
+TEST(EngineTest, DeterministicReduceOrder) {
+  // Keys inside a reduce task are processed in sorted order.
+  Job<int, int, int, int> job;
+  job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
+    for (int v : split) out->Emit(v, v);
+  };
+  job.reduce_fn = [](const int& key, std::vector<int>&, std::vector<int>* out) {
+    out->push_back(key);
+  };
+  job.tuple_bytes = [](const int&, const int&) { return uint64_t{8}; };
+  auto result = RunJob({{5, 3, 9, 1}}, job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.Value().output, (std::vector<int>{1, 3, 5, 9}));
+}
+
+}  // namespace
+}  // namespace csod::mr

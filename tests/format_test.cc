@@ -1,0 +1,56 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace csod {
+namespace {
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(999), "999 B");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(uint64_t{1} << 20), "1.00 MiB");
+  EXPECT_EQ(FormatBytes(uint64_t{3} << 30), "3.00 GiB");
+  EXPECT_EQ(FormatBytes(uint64_t{2} << 40), "2.00 TiB");
+  // Beyond TiB stays in TiB.
+  EXPECT_EQ(FormatBytes(uint64_t{2048} << 40), "2048.00 TiB");
+}
+
+TEST(FormatPercentTest, Precision) {
+  EXPECT_EQ(FormatPercent(0.0132), "1.3%");
+  EXPECT_EQ(FormatPercent(0.0132, 2), "1.32%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+}
+
+TEST(FormatSecondsTest, MillisecondResolution) {
+  EXPECT_EQ(FormatSeconds(12.3456), "12.346 s");
+  EXPECT_EQ(FormatSeconds(0.0), "0.000 s");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy-wait a tiny, bounded amount.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 1e3 * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace csod

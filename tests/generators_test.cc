@@ -1,0 +1,228 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/grid.h"
+#include "outlier/outlier.h"
+
+namespace csod::workload {
+namespace {
+
+TEST(MajorityDominatedTest, StructureMatchesOptions) {
+  MajorityDominatedOptions options;
+  options.n = 1000;
+  options.sparsity = 50;
+  options.mode = 5000.0;
+  options.min_divergence = 100.0;
+  options.max_divergence = 10000.0;
+  options.seed = 3;
+  auto result = GenerateMajorityDominated(options);
+  ASSERT_TRUE(result.ok());
+  const auto& x = result.Value();
+  ASSERT_EQ(x.size(), 1000u);
+
+  size_t at_mode = 0;
+  for (double v : x) {
+    if (v == 5000.0) {
+      ++at_mode;
+    } else {
+      const double div = std::fabs(v - 5000.0);
+      EXPECT_GE(div, 100.0 - 1e-3);
+      EXPECT_LE(div, 10000.0 + 1e-3);
+    }
+  }
+  EXPECT_EQ(at_mode, 1000u - 50u);
+  EXPECT_TRUE(outlier::IsMajorityDominated(x));
+  EXPECT_EQ(outlier::ComputeMode(x), 5000.0);
+}
+
+TEST(MajorityDominatedTest, Deterministic) {
+  MajorityDominatedOptions options;
+  options.seed = 42;
+  auto a = GenerateMajorityDominated(options);
+  auto b = GenerateMajorityDominated(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.Value(), b.Value());
+}
+
+TEST(MajorityDominatedTest, InvalidOptionsRejected) {
+  MajorityDominatedOptions options;
+  options.n = 0;
+  EXPECT_FALSE(GenerateMajorityDominated(options).ok());
+  options.n = 10;
+  options.sparsity = 10;
+  EXPECT_FALSE(GenerateMajorityDominated(options).ok());
+  options.sparsity = 2;
+  options.min_divergence = -1.0;
+  EXPECT_FALSE(GenerateMajorityDominated(options).ok());
+  options.min_divergence = 10.0;
+  options.max_divergence = 5.0;
+  EXPECT_FALSE(GenerateMajorityDominated(options).ok());
+}
+
+TEST(MajorityDominatedTest, ValuesOnGrid) {
+  MajorityDominatedOptions options;
+  options.seed = 9;
+  auto result = GenerateMajorityDominated(options);
+  ASSERT_TRUE(result.ok());
+  for (double v : result.Value()) {
+    EXPECT_EQ(v, QuantizeToGrid(v));
+  }
+}
+
+TEST(PowerLawTest, HeavyTailProperties) {
+  PowerLawOptions options;
+  options.n = 20000;
+  options.alpha = 0.9;
+  options.scale = 1.0;
+  options.seed = 7;
+  auto result = GeneratePowerLaw(options);
+  ASSERT_TRUE(result.ok());
+  const auto& x = result.Value();
+
+  // All values >= scale (Pareto support), heavy tail present.
+  double max_v = 0.0;
+  size_t big = 0;
+  for (double v : x) {
+    EXPECT_GE(v, 1.0 - 1e-4);
+    max_v = std::max(max_v, v);
+    if (v > 100.0) ++big;
+  }
+  // With alpha=0.9, P(X > 100) = 100^-0.9 ≈ 1.6%: expect a real tail.
+  EXPECT_GT(big, 100u);
+  EXPECT_GT(max_v, 1000.0);
+}
+
+TEST(PowerLawTest, SmallerAlphaHeavierTail) {
+  PowerLawOptions heavy;
+  heavy.n = 20000;
+  heavy.alpha = 0.9;
+  heavy.seed = 11;
+  PowerLawOptions light;
+  light.n = 20000;
+  light.alpha = 3.0;
+  light.seed = 11;
+  auto hx = GeneratePowerLaw(heavy);
+  auto lx = GeneratePowerLaw(light);
+  ASSERT_TRUE(hx.ok());
+  ASSERT_TRUE(lx.ok());
+  const double hmax = *std::max_element(hx.Value().begin(), hx.Value().end());
+  const double lmax = *std::max_element(lx.Value().begin(), lx.Value().end());
+  EXPECT_GT(hmax, lmax);
+}
+
+TEST(PowerLawTest, InvalidOptionsRejected) {
+  PowerLawOptions options;
+  options.n = 0;
+  EXPECT_FALSE(GeneratePowerLaw(options).ok());
+  options.n = 10;
+  options.alpha = 0.0;
+  EXPECT_FALSE(GeneratePowerLaw(options).ok());
+  options.alpha = 1.0;
+  options.scale = 0.0;
+  EXPECT_FALSE(GeneratePowerLaw(options).ok());
+}
+
+TEST(ClickLogTest, CalibrationsMatchPaper) {
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kCoreSearch).n, 10400u);
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kCoreSearch).sparsity, 300u);
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kAds).n, 9000u);
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kAds).sparsity, 650u);
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kAnswer).n, 10000u);
+  EXPECT_EQ(CalibrationFor(ClickScoreType::kAnswer).sparsity, 610u);
+}
+
+TEST(ClickLogTest, GlobalStructure) {
+  ClickLogOptions options;
+  options.score_type = ClickScoreType::kCoreSearch;
+  options.n_override = 2000;
+  options.sparsity_override = 60;
+  options.seed = 5;
+  auto result = GenerateClickLog(options);
+  ASSERT_TRUE(result.ok());
+  const ClickLogData& data = result.Value();
+  ASSERT_EQ(data.global.size(), 2000u);
+  EXPECT_EQ(data.outlier_indices.size(), 60u);
+  EXPECT_EQ(data.sparsity, 60u);
+
+  // Outliers diverge strongly; non-outliers sit within the jitter band.
+  std::vector<bool> is_outlier(2000, false);
+  for (size_t idx : data.outlier_indices) is_outlier[idx] = true;
+  for (size_t i = 0; i < 2000; ++i) {
+    const double div = std::fabs(data.global[i] - data.mode);
+    if (is_outlier[i]) {
+      EXPECT_GE(div, options.min_divergence - 1e-3) << "index " << i;
+    } else {
+      EXPECT_LE(div, options.jitter + 1e-3) << "index " << i;
+    }
+  }
+}
+
+TEST(ClickLogTest, Deterministic) {
+  ClickLogOptions options;
+  options.n_override = 500;
+  options.sparsity_override = 20;
+  options.seed = 99;
+  auto a = GenerateClickLog(options);
+  auto b = GenerateClickLog(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.Value().global, b.Value().global);
+  EXPECT_EQ(a.Value().outlier_indices, b.Value().outlier_indices);
+}
+
+TEST(ClickLogTest, HeavyTailedDivergences) {
+  // With Pareto alpha < 1 the top outlier dwarfs the median outlier.
+  ClickLogOptions options;
+  options.n_override = 5000;
+  options.sparsity_override = 200;
+  options.divergence_alpha = 0.8;
+  options.seed = 3;
+  auto data = GenerateClickLog(options).MoveValue();
+  std::vector<double> divergences;
+  for (size_t idx : data.outlier_indices) {
+    divergences.push_back(std::fabs(data.global[idx] - data.mode));
+  }
+  std::sort(divergences.begin(), divergences.end());
+  EXPECT_GT(divergences.back(), 10.0 * divergences[divergences.size() / 2]);
+}
+
+TEST(ClickLogTest, InvalidDivergenceAlphaRejected) {
+  ClickLogOptions options;
+  options.n_override = 100;
+  options.sparsity_override = 5;
+  options.divergence_alpha = 0.0;
+  EXPECT_FALSE(GenerateClickLog(options).ok());
+}
+
+TEST(ClickLogTest, SparsityMustBeBelowN) {
+  ClickLogOptions options;
+  options.n_override = 100;
+  options.sparsity_override = 100;
+  EXPECT_FALSE(GenerateClickLog(options).ok());
+  options.sparsity_override = 0;  // falls back to calibration 300 > 100
+  EXPECT_FALSE(GenerateClickLog(options).ok());
+}
+
+TEST(ClickLogTest, ScoreTypeNames) {
+  EXPECT_STREQ(ClickScoreTypeName(ClickScoreType::kCoreSearch),
+               "core-search");
+  EXPECT_STREQ(ClickScoreTypeName(ClickScoreType::kAds), "ads");
+  EXPECT_STREQ(ClickScoreTypeName(ClickScoreType::kAnswer), "answer");
+}
+
+TEST(ClickLogTest, KeyStringsAreStructuredAndDistinct) {
+  const std::string k0 = ClickLogKeyForIndex(0);
+  const std::string k1 = ClickLogKeyForIndex(1);
+  EXPECT_NE(k0, k1);
+  // date|market|vertical|url|dc — four separators.
+  EXPECT_EQ(std::count(k0.begin(), k0.end(), '|'), 4);
+}
+
+}  // namespace
+}  // namespace csod::workload

@@ -1,0 +1,322 @@
+// End-to-end tests spanning workload generation, partitioning, the
+// distributed protocols, the MapReduce pipeline, and the public detector
+// facade — plus edge/failure injection.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/csod.h"
+#include "la/vector_ops.h"
+
+namespace csod {
+namespace {
+
+TEST(IntegrationTest, ClickLogWorkloadEndToEnd) {
+  // The full production scenario: synthetic click-log aggregate split over
+  // 8 data centers, CS protocol vs exact baseline at ~3% of ALL's cost.
+  workload::ClickLogOptions gen;
+  gen.score_type = workload::ClickScoreType::kCoreSearch;
+  gen.n_override = 2000;
+  gen.sparsity_override = 40;
+  gen.seed = 7;
+  auto data = workload::GenerateClickLog(gen).MoveValue();
+
+  workload::PartitionOptions part;
+  part.num_nodes = 8;
+  part.strategy = workload::PartitionStrategy::kSkewedSplit;
+  part.cancellation_noise = 1000.0;
+  part.seed = 8;
+  auto slices = workload::PartitionAdditive(data.global, part).MoveValue();
+
+  dist::Cluster cluster(gen.n_override);
+  for (auto& slice : slices) {
+    ASSERT_TRUE(cluster.AddNode(std::move(slice)).ok());
+  }
+
+  const size_t k = 5;
+  dist::AllTransmitProtocol all;
+  dist::CommStats all_comm;
+  auto truth = all.Run(cluster, k, &all_comm).MoveValue();
+
+  dist::CsProtocolOptions cs_options;
+  cs_options.m = 400;
+  cs_options.seed = 77;
+  cs_options.iterations = 60;
+  dist::CsOutlierProtocol cs_protocol(cs_options);
+  dist::CommStats cs_comm;
+  auto estimate = cs_protocol.Run(cluster, k, &cs_comm).MoveValue();
+
+  EXPECT_DOUBLE_EQ(outlier::ErrorOnKey(truth, estimate), 0.0);
+  EXPECT_LT(outlier::ErrorOnValue(truth, estimate), 0.01);
+  EXPECT_NEAR(estimate.mode, data.mode, 2.5);  // Within the jitter band.
+  const double cost_ratio = static_cast<double>(cs_comm.bytes_total()) /
+                            static_cast<double>(all_comm.bytes_total());
+  EXPECT_LT(cost_ratio, 0.25);
+}
+
+TEST(IntegrationTest, MapReduceMatchesDistProtocolMatchesDetector) {
+  // Three implementation layers of the same algorithm agree on the same
+  // data and seed.
+  workload::MajorityDominatedOptions gen;
+  gen.n = 700;
+  gen.sparsity = 12;
+  gen.seed = 19;
+  auto global = workload::GenerateMajorityDominated(gen).MoveValue();
+
+  workload::PartitionOptions part;
+  part.num_nodes = 5;
+  part.strategy = workload::PartitionStrategy::kUniformSplit;
+  part.seed = 20;
+  auto slices = workload::PartitionAdditive(global, part).MoveValue();
+
+  const size_t k = 5;
+  const uint64_t seed = 42;
+  const size_t m = 160;
+  const size_t iterations = 18;
+
+  // Layer 1: dist protocol.
+  dist::Cluster cluster(gen.n);
+  for (const auto& slice : slices) {
+    ASSERT_TRUE(cluster.AddNode(slice).ok());
+  }
+  dist::CsProtocolOptions proto_options;
+  proto_options.m = m;
+  proto_options.seed = seed;
+  proto_options.iterations = iterations;
+  dist::CsOutlierProtocol protocol(proto_options);
+  dist::CommStats comm;
+  auto from_protocol = protocol.Run(cluster, k, &comm).MoveValue();
+
+  // Layer 2: MapReduce job.
+  auto splits = mr::ExpandSlicesToEvents(slices, 2, 21);
+  mr::CsJobOptions job_options;
+  job_options.n = gen.n;
+  job_options.m = m;
+  job_options.k = k;
+  job_options.seed = seed;
+  job_options.iterations = iterations;
+  auto from_job = mr::RunCsOutlierJob(splits, job_options).MoveValue();
+
+  // Layer 3: detector facade.
+  core::DetectorOptions det_options;
+  det_options.n = gen.n;
+  det_options.m = m;
+  det_options.seed = seed;
+  det_options.iterations = iterations;
+  auto detector = core::DistributedOutlierDetector::Create(det_options)
+                      .MoveValue();
+  for (const auto& slice : slices) {
+    ASSERT_TRUE(detector->AddSource(slice).ok());
+  }
+  auto from_detector = detector->Detect(k).MoveValue();
+
+  ASSERT_EQ(from_protocol.outliers.size(), k);
+  ASSERT_EQ(from_job.outliers.outliers.size(), k);
+  ASSERT_EQ(from_detector.outliers.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(from_protocol.outliers[i].key_index,
+              from_detector.outliers[i].key_index);
+    EXPECT_EQ(from_protocol.outliers[i].key_index,
+              from_job.outliers.outliers[i].key_index);
+  }
+}
+
+TEST(IntegrationTest, KeyDictionaryPipeline) {
+  // Keys enter as strings, vectors are built against the dictionary, and
+  // detected outliers map back to the original keys.
+  workload::GlobalKeyDictionary dict;
+  const size_t n = 300;
+  for (size_t i = 0; i < n; ++i) {
+    dict.Intern(workload::ClickLogKeyForIndex(i));
+  }
+  ASSERT_EQ(dict.size(), n);
+
+  std::vector<double> global(n, 1800.0);
+  const std::string bad_key = workload::ClickLogKeyForIndex(123);
+  global[dict.Lookup(bad_key).Value()] = -50000.0;
+
+  core::DetectorOptions options;
+  options.n = n;
+  options.m = 100;
+  options.seed = 4;
+  options.iterations = 12;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  ASSERT_TRUE(detector->AddSource(cs::SparseSlice::FromDense(global)).ok());
+  auto result = detector->Detect(1).MoveValue();
+  ASSERT_EQ(result.outliers.size(), 1u);
+  EXPECT_EQ(dict.KeyOf(result.outliers[0].key_index).Value(), bad_key);
+}
+
+TEST(IntegrationTest, PowerLawTopKViaCs) {
+  // Section 6.2: top-k via CS on zero-mode (power-law) data.
+  workload::PowerLawOptions gen;
+  gen.n = 1000;
+  gen.alpha = 0.7;  // Very heavy tail: clear top values.
+  gen.seed = 29;
+  auto global = workload::GeneratePowerLaw(gen).MoveValue();
+
+  core::DetectorOptions options;
+  options.n = gen.n;
+  options.m = 300;
+  options.seed = 31;
+  options.iterations = 40;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  ASSERT_TRUE(detector->AddSource(cs::SparseSlice::FromDense(global)).ok());
+
+  const size_t k = 3;
+  auto estimated = detector->DetectTopK(k).MoveValue();
+  auto truth = outlier::TopK(global, k);
+  ASSERT_EQ(estimated.size(), k);
+  // The heavy hitters dominate: keys must match.
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(estimated[i].key_index, truth[i].key_index) << "rank " << i;
+  }
+}
+
+// --- Edge and failure injection. ---
+
+TEST(EdgeCaseTest, AllEqualDataHasNoOutliers) {
+  const size_t n = 200;
+  std::vector<double> global(n, 777.0);
+  core::DetectorOptions options;
+  options.n = n;
+  options.m = 60;
+  options.seed = 2;
+  options.iterations = 10;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  ASSERT_TRUE(detector->AddSource(cs::SparseSlice::FromDense(global)).ok());
+  auto result = detector->Detect(5).MoveValue();
+  EXPECT_NEAR(result.mode, 777.0, 1e-6);
+  // Any reported "outliers" must be numerically negligible.
+  for (const auto& o : result.outliers) {
+    EXPECT_LT(o.divergence, 1e-3);
+  }
+}
+
+TEST(EdgeCaseTest, KLargerThanOutlierCount) {
+  const size_t n = 200;
+  std::vector<double> global(n, 100.0);
+  global[7] = 9000.0;
+  core::DetectorOptions options;
+  options.n = n;
+  options.m = 80;
+  options.seed = 3;
+  options.iterations = 10;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  ASSERT_TRUE(detector->AddSource(cs::SparseSlice::FromDense(global)).ok());
+  auto result = detector->Detect(50).MoveValue();
+  ASSERT_GE(result.outliers.size(), 1u);
+  EXPECT_EQ(result.outliers[0].key_index, 7u);
+  EXPECT_NEAR(result.outliers[0].value, 9000.0, 1e-3);
+}
+
+TEST(EdgeCaseTest, EmptySliceContributesNothing) {
+  dist::Cluster cluster(50);
+  cs::SparseSlice data;
+  data.indices = {10};
+  data.values = {500.0};
+  ASSERT_TRUE(cluster.AddNode(data).ok());
+  ASSERT_TRUE(cluster.AddNode(cs::SparseSlice{}).ok());  // Empty node.
+
+  dist::CsProtocolOptions options;
+  options.m = 30;
+  options.seed = 5;
+  options.iterations = 8;
+  dist::CsOutlierProtocol protocol(options);
+  dist::CommStats comm;
+  auto result = protocol.Run(cluster, 1, &comm);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.Value().outliers.size(), 1u);
+  EXPECT_EQ(result.Value().outliers[0].key_index, 10u);
+}
+
+TEST(EdgeCaseTest, FullMeasurementDegeneratesToExact) {
+  // M = N: the measurement is a full-rank linear system; recovery must be
+  // essentially exact for any vector.
+  const size_t n = 40;
+  std::vector<double> global(n);
+  Rng rng(9);
+  for (double& v : global) v = rng.NextGaussian() * 10.0;
+  cs::MeasurementMatrix matrix(n, n, 6);
+  auto y = matrix.Multiply(global);
+  ASSERT_TRUE(y.ok());
+  cs::BompOptions options;
+  options.max_iterations = n;
+  options.stop_on_residual_stagnation = false;
+  auto recovery = cs::RunBomp(matrix, y.Value(), options);
+  ASSERT_TRUE(recovery.ok());
+  auto xhat = recovery.Value().Materialize(n);
+  EXPECT_LT(la::DistanceL2(xhat, global) / la::Norm2(global), 1e-6);
+}
+
+TEST(EdgeCaseTest, SingleKeyUniverse) {
+  core::DetectorOptions options;
+  options.n = 1;
+  options.m = 1;
+  options.seed = 1;
+  options.iterations = 2;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  cs::SparseSlice slice;
+  slice.indices = {0};
+  slice.values = {123.0};
+  ASSERT_TRUE(detector->AddSource(slice).ok());
+  auto recovery = detector->Recover(2);
+  ASSERT_TRUE(recovery.ok());
+  auto xhat = recovery.Value().Materialize(1);
+  EXPECT_NEAR(xhat[0], 123.0, 1e-6);
+}
+
+TEST(EdgeCaseTest, NodeChurnKeepsAnswersConsistent) {
+  // Remove a node: detection reflects the surviving aggregate (the
+  // Section 1 "data centers join/leave" challenge). Node 0 holds a small
+  // slice; after removal its keys drop to zero and become outliers
+  // themselves, while the planted outliers stay dominant.
+  const size_t n = 400;
+  std::vector<double> base(n, 5000.0);
+  base[50] = 25000.0;   // divergence 20000
+  base[150] = -9000.0;  // divergence 14000
+
+  cs::SparseSlice node0;  // Holds keys 0..4 entirely.
+  cs::SparseSlice node1;  // Holds everything else.
+  for (size_t i = 0; i < n; ++i) {
+    if (i < 5) {
+      node0.indices.push_back(i);
+      node0.values.push_back(base[i]);
+    } else {
+      node1.indices.push_back(i);
+      node1.values.push_back(base[i]);
+    }
+  }
+
+  core::DetectorOptions options;
+  options.n = n;
+  options.m = 150;
+  options.seed = 77;
+  options.iterations = 16;
+  auto detector =
+      core::DistributedOutlierDetector::Create(options).MoveValue();
+  auto id0 = detector->AddSource(node0).MoveValue();
+  ASSERT_TRUE(detector->AddSource(node1).ok());
+  ASSERT_TRUE(detector->RemoveSource(id0).ok());
+
+  // Survivor: keys 0..4 are 0 (divergence 5000), planted outliers remain.
+  std::vector<double> survivor = base;
+  for (size_t i = 0; i < 5; ++i) survivor[i] = 0.0;
+  const auto truth = outlier::ExactKOutliers(survivor, 2);
+  const auto detected = detector->Detect(2).MoveValue();
+  EXPECT_DOUBLE_EQ(outlier::ErrorOnKey(truth, detected), 0.0);
+  EXPECT_EQ(detected.outliers[0].key_index, 50u);
+  EXPECT_EQ(detected.outliers[1].key_index, 150u);
+}
+
+}  // namespace
+}  // namespace csod

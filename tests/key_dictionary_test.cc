@@ -1,0 +1,120 @@
+#include "workload/key_dictionary.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod::workload {
+namespace {
+
+TEST(KeyDictionaryTest, InternAssignsSequentialIndices) {
+  GlobalKeyDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(KeyDictionaryTest, InternIsIdempotent) {
+  GlobalKeyDictionary dict;
+  const size_t first = dict.Intern("en-US|web");
+  EXPECT_EQ(dict.Intern("en-US|web"), first);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(KeyDictionaryTest, LookupFindsInterned) {
+  GlobalKeyDictionary dict;
+  dict.Intern("x");
+  dict.Intern("y");
+  auto r = dict.Lookup("y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 1u);
+}
+
+TEST(KeyDictionaryTest, LookupMissingIsNotFound) {
+  GlobalKeyDictionary dict;
+  auto r = dict.Lookup("absent");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KeyDictionaryTest, KeyOfRoundTrips) {
+  GlobalKeyDictionary dict;
+  const size_t idx = dict.Intern("2015-05-01|en-US|web|url42|DC3");
+  auto key = dict.KeyOf(idx);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.Value(), "2015-05-01|en-US|web|url42|DC3");
+}
+
+TEST(KeyDictionaryTest, KeyOfOutOfRange) {
+  GlobalKeyDictionary dict;
+  dict.Intern("only");
+  EXPECT_FALSE(dict.KeyOf(1).ok());
+}
+
+TEST(KeyDictionaryTest, SaveLoadRoundTrip) {
+  GlobalKeyDictionary dict;
+  dict.Intern("2015-05-01|en-US|web|url1");
+  dict.Intern("2015-05-01|de-DE|image|url2");
+  dict.Intern("k3");
+  std::stringstream stream;
+  ASSERT_TRUE(dict.Save(stream).ok());
+
+  GlobalKeyDictionary loaded;
+  ASSERT_TRUE(loaded.Load(stream).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.keys(), dict.keys());
+  EXPECT_EQ(loaded.Lookup("k3").Value(), 2u);
+}
+
+TEST(KeyDictionaryTest, SaveRejectsNewlineKeys) {
+  GlobalKeyDictionary dict;
+  dict.Intern("bad\nkey");
+  std::stringstream stream;
+  EXPECT_FALSE(dict.Save(stream).ok());
+}
+
+TEST(KeyDictionaryTest, LoadRejectsDuplicates) {
+  std::stringstream stream("a\nb\na\n");
+  GlobalKeyDictionary dict;
+  EXPECT_FALSE(dict.Load(stream).ok());
+}
+
+TEST(KeyDictionaryTest, LoadReplacesContent) {
+  GlobalKeyDictionary dict;
+  dict.Intern("old");
+  std::stringstream stream("new1\nnew2\n");
+  ASSERT_TRUE(dict.Load(stream).ok());
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_FALSE(dict.Lookup("old").ok());
+  EXPECT_EQ(dict.Lookup("new1").Value(), 0u);
+}
+
+TEST(KeyDictionaryTest, MergeReturnsRemapping) {
+  GlobalKeyDictionary global;
+  global.Intern("a");
+  global.Intern("b");
+
+  GlobalKeyDictionary node;
+  node.Intern("b");   // Already global index 1.
+  node.Intern("c");   // New: becomes global index 2.
+  node.Intern("a");   // Already global index 0.
+
+  const std::vector<size_t> remap = global.Merge(node);
+  EXPECT_EQ(remap, (std::vector<size_t>{1, 2, 0}));
+  EXPECT_EQ(global.size(), 3u);
+  EXPECT_EQ(global.Lookup("c").Value(), 2u);
+}
+
+TEST(KeyDictionaryTest, KeysInIndexOrder) {
+  GlobalKeyDictionary dict;
+  dict.Intern("z");
+  dict.Intern("a");
+  ASSERT_EQ(dict.keys().size(), 2u);
+  EXPECT_EQ(dict.keys()[0], "z");
+  EXPECT_EQ(dict.keys()[1], "a");
+}
+
+}  // namespace
+}  // namespace csod::workload

@@ -1,0 +1,123 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod::la {
+namespace {
+
+Matrix Make2x3() {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  return m;
+}
+
+TEST(MatrixTest, ConstructionZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, CheckedAccess) {
+  Matrix m = Make2x3();
+  ASSERT_TRUE(m.At(1, 2).ok());
+  EXPECT_EQ(m.At(1, 2).Value(), 6.0);
+  EXPECT_FALSE(m.At(2, 0).ok());
+  EXPECT_FALSE(m.At(0, 3).ok());
+  EXPECT_EQ(m.At(5, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix m = Make2x3();
+  auto y = m.Multiply({1, 0, -1});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y.Value(), (std::vector<double>{-2, -2}));
+}
+
+TEST(MatrixTest, MultiplySizeMismatch) {
+  Matrix m = Make2x3();
+  EXPECT_FALSE(m.Multiply({1, 2}).ok());
+}
+
+TEST(MatrixTest, MultiplyTransposed) {
+  Matrix m = Make2x3();
+  auto y = m.MultiplyTransposed({1, 1});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y.Value(), (std::vector<double>{5, 7, 9}));
+  EXPECT_FALSE(m.MultiplyTransposed({1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, ColumnRoundTrip) {
+  Matrix m = Make2x3();
+  EXPECT_EQ(m.Column(1), (std::vector<double>{2, 5}));
+  ASSERT_TRUE(m.SetColumn(1, {9, 10}).ok());
+  EXPECT_EQ(m.Column(1), (std::vector<double>{9, 10}));
+}
+
+TEST(MatrixTest, SetColumnErrors) {
+  Matrix m = Make2x3();
+  EXPECT_FALSE(m.SetColumn(3, {1, 2}).ok());
+  EXPECT_FALSE(m.SetColumn(0, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+// Adjoint property sweep: <A x, y> == <x, A^T y> across shapes.
+class MatrixAdjointTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MatrixAdjointTest, AdjointIdentity) {
+  const auto [rows, cols] = GetParam();
+  Matrix a(rows, cols);
+  // Deterministic pseudo-random fill.
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      a(r, c) = std::sin(static_cast<double>(r * 31 + c * 17 + 1));
+    }
+  }
+  std::vector<double> x(cols);
+  std::vector<double> y(rows);
+  for (size_t c = 0; c < cols; ++c) x[c] = std::cos(static_cast<double>(c));
+  for (size_t r = 0; r < rows; ++r) y[r] = std::cos(static_cast<double>(r + 7));
+
+  auto ax = a.Multiply(x).MoveValue();
+  auto aty = a.MultiplyTransposed(y).MoveValue();
+  double lhs = 0.0;
+  double rhs = 0.0;
+  for (size_t r = 0; r < rows; ++r) lhs += ax[r] * y[r];
+  for (size_t c = 0; c < cols; ++c) rhs += x[c] * aty[c];
+  EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatrixAdjointTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(3, 7),
+                                           std::make_pair(7, 3),
+                                           std::make_pair(16, 16),
+                                           std::make_pair(64, 5)));
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace csod::la

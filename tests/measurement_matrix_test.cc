@@ -1,0 +1,179 @@
+#include "cs/measurement_matrix.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+namespace {
+
+TEST(MeasurementMatrixTest, ConsensusProperty) {
+  // Two "nodes" building the matrix from the same seed get identical
+  // entries — the Section 3.1 consensus without transmission.
+  MeasurementMatrix node_a(16, 64, /*seed=*/77);
+  MeasurementMatrix node_b(16, 64, /*seed=*/77);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(node_a.Entry(i, j), node_b.Entry(i, j));
+    }
+  }
+}
+
+TEST(MeasurementMatrixTest, DifferentSeedsDiffer) {
+  MeasurementMatrix a(8, 8, 1);
+  MeasurementMatrix b(8, 8, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < 8 && !any_diff; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      if (a.Entry(i, j) != b.Entry(i, j)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MeasurementMatrixTest, CachedEqualsImplicit) {
+  MeasurementMatrix cached(16, 32, 5,
+                           /*cache_budget_bytes=*/1 << 20);
+  MeasurementMatrix implicit(16, 32, 5, /*cache_budget_bytes=*/0);
+  ASSERT_TRUE(cached.cached());
+  ASSERT_FALSE(implicit.cached());
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 32; ++j) {
+      EXPECT_EQ(cached.Entry(i, j), implicit.Entry(i, j));
+    }
+  }
+}
+
+TEST(MeasurementMatrixTest, CacheBudgetRespected) {
+  // 16*32*8 = 4096 bytes; a 1000-byte budget must stay implicit.
+  MeasurementMatrix small_budget(16, 32, 5, 1000);
+  EXPECT_FALSE(small_budget.cached());
+}
+
+TEST(MeasurementMatrixTest, RowPrefixProperty) {
+  // A taller matrix with the same seed extends a shorter one row-wise
+  // (entry (i, j) depends only on (seed, j, i), never on M) — modulo the
+  // 1/sqrt(M) scaling. This is what lets the adaptive protocol request
+  // additional measurement rows without re-transmitting the old ones.
+  MeasurementMatrix short_matrix(8, 24, 99);
+  MeasurementMatrix tall_matrix(32, 24, 99);
+  const double rescale = std::sqrt(8.0) / std::sqrt(32.0);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 24; ++j) {
+      EXPECT_DOUBLE_EQ(short_matrix.Entry(i, j) * rescale,
+                       tall_matrix.Entry(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(MeasurementMatrixTest, EntryVariance) {
+  // Entries are N(0, 1/M): empirical variance over many entries ~ 1/M.
+  const size_t m = 64;
+  MeasurementMatrix matrix(m, 512, 99);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < 512; ++j) {
+      const double v = matrix.Entry(i, j);
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+  }
+  const double mean = sum / count;
+  const double var = sum_sq / count - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.005);
+  EXPECT_NEAR(var, 1.0 / m, 0.1 / m);
+}
+
+TEST(MeasurementMatrixTest, ColumnUnitNormInExpectation) {
+  // E||column||^2 = M * 1/M = 1.
+  MeasurementMatrix matrix(128, 64, 3);
+  double total = 0.0;
+  for (size_t j = 0; j < 64; ++j) {
+    total += la::Norm2Squared(matrix.Column(j));
+  }
+  EXPECT_NEAR(total / 64.0, 1.0, 0.1);
+}
+
+TEST(MeasurementMatrixTest, MultiplyMatchesManual) {
+  MeasurementMatrix matrix(8, 10, 42);
+  std::vector<double> x(10);
+  Rng rng(7);
+  for (double& v : x) v = rng.NextGaussian();
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    double expected = 0.0;
+    for (size_t j = 0; j < 10; ++j) expected += matrix.Entry(i, j) * x[j];
+    EXPECT_NEAR(y.Value()[i], expected, 1e-12);
+  }
+}
+
+TEST(MeasurementMatrixTest, MultiplySparseMatchesDense) {
+  MeasurementMatrix matrix(12, 50, 11);
+  std::vector<double> x(50, 0.0);
+  x[3] = 2.5;
+  x[17] = -1.0;
+  x[49] = 7.0;
+  auto dense = matrix.Multiply(x);
+  auto sparse = matrix.MultiplySparse({3, 17, 49}, {2.5, -1.0, 7.0});
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_NEAR(la::DistanceL2(dense.Value(), sparse.Value()), 0.0, 1e-12);
+}
+
+TEST(MeasurementMatrixTest, MultiplyErrors) {
+  MeasurementMatrix matrix(4, 6, 1);
+  EXPECT_FALSE(matrix.Multiply({1, 2}).ok());
+  EXPECT_FALSE(matrix.MultiplySparse({7}, {1.0}).ok());  // index out of N
+  EXPECT_FALSE(matrix.MultiplySparse({1, 2}, {1.0}).ok());  // size mismatch
+  EXPECT_FALSE(matrix.CorrelateAll({1, 2}).ok());
+}
+
+TEST(MeasurementMatrixTest, CorrelateAllMatchesColumnDots) {
+  MeasurementMatrix matrix(10, 20, 13);
+  std::vector<double> r(10);
+  Rng rng(3);
+  for (double& v : r) v = rng.NextGaussian();
+  auto c = matrix.CorrelateAll(r);
+  ASSERT_TRUE(c.ok());
+  for (size_t j = 0; j < 20; ++j) {
+    EXPECT_NEAR(c.Value()[j], la::Dot(matrix.Column(j), r), 1e-12);
+  }
+}
+
+TEST(MeasurementMatrixTest, CorrelateImplicitMatchesCached) {
+  MeasurementMatrix cached(10, 20, 13);
+  MeasurementMatrix implicit(10, 20, 13, /*cache_budget_bytes=*/0);
+  std::vector<double> r(10);
+  Rng rng(3);
+  for (double& v : r) v = rng.NextGaussian();
+  auto a = cached.CorrelateAll(r);
+  auto b = implicit.CorrelateAll(r);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(la::DistanceL2(a.Value(), b.Value()), 0.0, 1e-10);
+}
+
+TEST(MeasurementMatrixTest, BiasColumnIsScaledColumnSum) {
+  MeasurementMatrix matrix(6, 9, 21);
+  const std::vector<double> phi0 = matrix.BiasColumn();
+  for (size_t i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < 9; ++j) sum += matrix.Entry(i, j);
+    EXPECT_NEAR(phi0[i], sum / std::sqrt(9.0), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace csod::cs

@@ -1,0 +1,107 @@
+#include "outlier/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod::outlier {
+namespace {
+
+OutlierSet MakeSet(std::vector<std::pair<size_t, double>> entries,
+                   double mode = 0.0) {
+  OutlierSet set;
+  set.mode = mode;
+  for (auto& [key, value] : entries) {
+    set.outliers.push_back(Outlier{key, value, std::fabs(value - mode)});
+  }
+  return set;
+}
+
+TEST(ErrorOnKeyTest, PerfectMatchIsZero) {
+  OutlierSet truth = MakeSet({{1, 10}, {2, 20}});
+  OutlierSet estimate = MakeSet({{2, 21}, {1, 9}});  // Order irrelevant.
+  EXPECT_DOUBLE_EQ(ErrorOnKey(truth, estimate), 0.0);
+}
+
+TEST(ErrorOnKeyTest, CompleteMissIsOne) {
+  OutlierSet truth = MakeSet({{1, 10}, {2, 20}});
+  OutlierSet estimate = MakeSet({{3, 10}, {4, 20}});
+  EXPECT_DOUBLE_EQ(ErrorOnKey(truth, estimate), 1.0);
+}
+
+TEST(ErrorOnKeyTest, PartialOverlap) {
+  OutlierSet truth = MakeSet({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  OutlierSet estimate = MakeSet({{1, 1}, {2, 2}, {9, 9}, {10, 10}});
+  EXPECT_DOUBLE_EQ(ErrorOnKey(truth, estimate), 0.5);
+}
+
+TEST(ErrorOnKeyTest, ShortEstimateCountsAsMisses) {
+  OutlierSet truth = MakeSet({{1, 1}, {2, 2}});
+  OutlierSet estimate = MakeSet({{1, 1}});
+  EXPECT_DOUBLE_EQ(ErrorOnKey(truth, estimate), 0.5);
+}
+
+TEST(ErrorOnKeyTest, EmptyTruthIsZeroError) {
+  OutlierSet truth;
+  OutlierSet estimate = MakeSet({{1, 1}});
+  EXPECT_DOUBLE_EQ(ErrorOnKey(truth, estimate), 0.0);
+}
+
+TEST(ErrorOnValueTest, IdenticalValuesZeroError) {
+  OutlierSet truth = MakeSet({{1, 10}, {2, -5}});
+  OutlierSet estimate = MakeSet({{7, -5}, {8, 10}});  // Keys don't matter.
+  EXPECT_NEAR(ErrorOnValue(truth, estimate), 0.0, 1e-15);
+}
+
+TEST(ErrorOnValueTest, RelativeL2OfSortedValues) {
+  OutlierSet truth = MakeSet({{1, 3.0}, {2, 4.0}});
+  OutlierSet estimate = MakeSet({{1, 3.0}, {2, 0.0}});
+  // Sorted desc: truth (4,3), estimate (3,0): diff (1,3), ||truth|| = 5.
+  EXPECT_NEAR(ErrorOnValue(truth, estimate), std::sqrt(10.0) / 5.0, 1e-12);
+}
+
+TEST(ErrorOnValueTest, ShortEstimatePaddedWithItsMode) {
+  OutlierSet truth = MakeSet({{1, 10.0}, {2, 6.0}});
+  OutlierSet estimate = MakeSet({{1, 10.0}}, /*mode=*/6.0);
+  // Padded estimate values: (10, 6) — matches truth exactly.
+  EXPECT_NEAR(ErrorOnValue(truth, estimate), 0.0, 1e-15);
+}
+
+TEST(ErrorOnValueTest, LongEstimateTruncated) {
+  OutlierSet truth = MakeSet({{1, 10.0}});
+  OutlierSet estimate = MakeSet({{1, 10.0}, {2, 99.0}, {3, -5.0}});
+  // Sorted desc, truncated to |truth| = 1: estimate value list is (99).
+  EXPECT_NEAR(ErrorOnValue(truth, estimate), 89.0 / 10.0, 1e-12);
+}
+
+TEST(ErrorOnValueTest, EmptyTruthIsZero) {
+  OutlierSet truth;
+  OutlierSet estimate = MakeSet({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(ErrorOnValue(truth, estimate), 0.0);
+}
+
+TEST(ErrorOnValueTest, ZeroNormTruthHandled) {
+  OutlierSet truth = MakeSet({{1, 0.0}});
+  OutlierSet exact = MakeSet({{2, 0.0}});
+  OutlierSet wrong = MakeSet({{2, 5.0}});
+  EXPECT_DOUBLE_EQ(ErrorOnValue(truth, exact), 0.0);
+  EXPECT_DOUBLE_EQ(ErrorOnValue(truth, wrong), 1.0);
+}
+
+TEST(ErrorStatsTest, FromSamples) {
+  ErrorStats stats = ErrorStats::FromSamples({0.1, 0.5, 0.3});
+  EXPECT_DOUBLE_EQ(stats.min, 0.1);
+  EXPECT_DOUBLE_EQ(stats.max, 0.5);
+  EXPECT_NEAR(stats.avg, 0.3, 1e-12);
+  EXPECT_EQ(stats.count, 3u);
+}
+
+TEST(ErrorStatsTest, Empty) {
+  ErrorStats stats = ErrorStats::FromSamples({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg, 0.0);
+}
+
+}  // namespace
+}  // namespace csod::outlier

@@ -1,0 +1,271 @@
+#include "cs/omp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cs/measurement_matrix.h"
+#include "la/vector_ops.h"
+
+namespace csod::cs {
+namespace {
+
+// Builds an s-sparse vector with given support values.
+std::vector<double> SparseVector(size_t n, const std::vector<size_t>& support,
+                                 const std::vector<double>& values) {
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < support.size(); ++i) x[support[i]] = values[i];
+  return x;
+}
+
+TEST(OmpTest, RejectsBadInputs) {
+  MeasurementMatrix matrix(8, 16, 1);
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 4;
+  EXPECT_FALSE(RunOmp(dict, {1, 2, 3}, options).ok());  // wrong y size
+  options.max_iterations = 0;
+  std::vector<double> y(8, 1.0);
+  EXPECT_FALSE(RunOmp(dict, y, options).ok());
+}
+
+TEST(OmpTest, ZeroMeasurementReturnsEmpty) {
+  MeasurementMatrix matrix(8, 16, 1);
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 4;
+  auto result = RunOmp(dict, std::vector<double>(8, 0.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.Value().selected.empty());
+  EXPECT_EQ(result.Value().iterations, 0u);
+}
+
+TEST(OmpTest, RecoversOneSparseExactly) {
+  const size_t n = 64;
+  MeasurementMatrix matrix(16, n, 7);
+  std::vector<double> x = SparseVector(n, {13}, {42.0});
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 4;
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result.Value().selected.size(), 1u);
+  EXPECT_EQ(result.Value().selected[0], 13u);
+  EXPECT_NEAR(result.Value().coefficients[0], 42.0, 1e-8);
+  EXPECT_LT(result.Value().final_residual_norm, 1e-6);
+}
+
+TEST(OmpTest, ResidualNormsNonIncreasing) {
+  const size_t n = 128;
+  MeasurementMatrix matrix(40, n, 3);
+  Rng rng(5);
+  std::vector<double> x(n, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    x[rng.NextBounded(n)] = rng.NextGaussian() * 10.0;
+  }
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 20;
+  options.stop_on_residual_stagnation = false;
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+  const auto& norms = result.Value().residual_norms;
+  for (size_t i = 1; i < norms.size(); ++i) {
+    EXPECT_LE(norms[i], norms[i - 1] + 1e-9);
+  }
+}
+
+TEST(OmpTest, HonorsIterationBudget) {
+  const size_t n = 100;
+  MeasurementMatrix matrix(30, n, 9);
+  Rng rng(2);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.NextGaussian();  // Dense: never converges.
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 5;
+  options.stop_on_residual_stagnation = false;
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.Value().iterations, 5u);
+  EXPECT_LE(result.Value().selected.size(), 5u);
+}
+
+TEST(OmpTest, CallbackObservesEveryIteration) {
+  const size_t n = 64;
+  MeasurementMatrix matrix(24, n, 17);
+  std::vector<double> x = SparseVector(n, {1, 2, 3}, {5.0, -4.0, 3.0});
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 10;
+  options.solve_coefficients_each_iteration = true;
+  size_t calls = 0;
+  options.iteration_callback = [&](const OmpIterationInfo& info) {
+    ++calls;
+    EXPECT_EQ(info.iteration, calls);
+    ASSERT_NE(info.selected, nullptr);
+    ASSERT_NE(info.coefficients, nullptr);
+    EXPECT_EQ(info.selected->size(), calls);
+    EXPECT_EQ(info.coefficients->size(), calls);
+  };
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, result.Value().iterations);
+}
+
+TEST(OmpTest, NeverSelectsSameAtomTwice) {
+  const size_t n = 50;
+  MeasurementMatrix matrix(20, n, 23);
+  Rng rng(4);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.NextGaussian();
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 20;
+  options.stop_on_residual_stagnation = false;
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> unique(result.Value().selected.begin(),
+                          result.Value().selected.end());
+  EXPECT_EQ(unique.size(), result.Value().selected.size());
+}
+
+// A pathological dictionary whose atoms are all identical: after the first
+// selection every remaining atom is linearly dependent, so OMP must stop
+// via the Section-5 stagnation rule instead of looping.
+class ConstantDictionary final : public Dictionary {
+ public:
+  ConstantDictionary(size_t num_atoms, size_t m)
+      : num_atoms_(num_atoms), atom_(m, 1.0) {}
+  size_t num_atoms() const override { return num_atoms_; }
+  size_t atom_length() const override { return atom_.size(); }
+  void FillAtom(size_t, double* out) const override {
+    for (size_t i = 0; i < atom_.size(); ++i) out[i] = atom_[i];
+  }
+  Result<std::vector<double>> Correlate(
+      const std::vector<double>& r) const override {
+    double acc = 0.0;
+    for (double v : r) acc += v;
+    return std::vector<double>(num_atoms_, acc);
+  }
+  Result<std::vector<double>> MultiplyDense(
+      const std::vector<double>& z) const override {
+    double total = 0.0;
+    for (double v : z) total += v;
+    return std::vector<double>(atom_.size(), total);
+  }
+
+ private:
+  size_t num_atoms_;
+  std::vector<double> atom_;
+};
+
+TEST(OmpTest, TerminatesOnDegenerateDictionary) {
+  ConstantDictionary dict(10, 4);
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  OmpOptions options;
+  options.max_iterations = 8;
+  auto result = RunOmp(dict, y, options);
+  ASSERT_TRUE(result.ok());
+  // One useful atom; afterwards every remaining atom lies in the selected
+  // span, its correlation with the residual is zero, and the loop must
+  // terminate instead of spinning (far below the iteration budget).
+  EXPECT_EQ(result.Value().selected.size(), 1u);
+  EXPECT_EQ(result.Value().iterations, 1u);
+  EXPECT_GT(result.Value().final_residual_norm, 0.0);
+}
+
+TEST(OmpTest, NoisyMeasurementTerminatesCleanly) {
+  // With additive noise, exact recovery is impossible; OMP must still
+  // terminate within the budget and return the dominant atoms first.
+  const size_t n = 120;
+  MeasurementMatrix matrix(40, n, 29);
+  std::vector<double> x(n, 0.0);
+  x[11] = 100.0;
+  x[77] = -80.0;
+  auto y = matrix.Multiply(x).MoveValue();
+  Rng noise_rng(5);
+  for (double& v : y) v += noise_rng.NextGaussian() * 0.5;
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = 30;
+  auto result = RunOmp(dict, y, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result.Value().selected.size(), 2u);
+  EXPECT_EQ(result.Value().selected[0], 11u);
+  EXPECT_EQ(result.Value().selected[1], 77u);
+  EXPECT_LE(result.Value().iterations, 30u);
+}
+
+// Property sweep: exact recovery of s-sparse vectors when M is generous
+// (M = 4 s log N — comfortably above the Theorem 1 scaling).
+class OmpRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(OmpRecoveryTest, ExactRecoveryWithGenerousM) {
+  const auto [n, s, seed] = GetParam();
+  const size_t m = std::min<size_t>(
+      n, static_cast<size_t>(4.0 * s * std::log(static_cast<double>(n))) + 8);
+  MeasurementMatrix matrix(m, n, seed);
+  Rng rng(seed * 31 + 1);
+  std::vector<size_t> support;
+  std::set<size_t> used;
+  while (support.size() < s) {
+    const size_t idx = rng.NextBounded(n);
+    if (used.insert(idx).second) support.push_back(idx);
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t idx : support) {
+    x[idx] = (rng.NextDouble() + 0.5) * ((rng.NextU64() & 1) ? 1.0 : -1.0) *
+             100.0;
+  }
+  auto y = matrix.Multiply(x);
+  ASSERT_TRUE(y.ok());
+
+  MatrixDictionary dict(&matrix);
+  OmpOptions options;
+  options.max_iterations = s + 2;
+  auto result = RunOmp(dict, y.Value(), options);
+  ASSERT_TRUE(result.ok());
+
+  // Recovered support must equal the planted support, values must match.
+  std::set<size_t> planted(support.begin(), support.end());
+  std::set<size_t> recovered(result.Value().selected.begin(),
+                             result.Value().selected.end());
+  EXPECT_EQ(planted, recovered);
+  for (size_t i = 0; i < result.Value().selected.size(); ++i) {
+    EXPECT_NEAR(result.Value().coefficients[i],
+                x[result.Value().selected[i]], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, OmpRecoveryTest,
+    ::testing::Values(std::make_tuple(100, 2, 1), std::make_tuple(100, 5, 2),
+                      std::make_tuple(256, 8, 3), std::make_tuple(256, 16, 4),
+                      std::make_tuple(512, 10, 5),
+                      std::make_tuple(1000, 20, 6)));
+
+}  // namespace
+}  // namespace csod::cs

@@ -1,0 +1,90 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cs/measurement_matrix.h"
+#include "la/vector_ops.h"
+
+namespace csod {
+namespace {
+
+// Restores the global parallelism limit after each test.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetParallelismLimit(
+        std::max<size_t>(1, std::thread::hardware_concurrency()));
+  }
+};
+
+TEST_F(ParallelTest, CoversWholeRangeExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    SetParallelismLimit(threads);
+    const size_t count = 1003;
+    std::vector<std::atomic<int>> touched(count);
+    for (auto& t : touched) t.store(0);
+    ParallelFor(count, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(touched[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ParallelTest, SmallRangeStaysSerial) {
+  SetParallelismLimit(8);
+  // min_chunk larger than count: single chunk on the calling thread.
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(10, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, self);
+}
+
+TEST_F(ParallelTest, LimitControlsMaxThreads) {
+  SetParallelismLimit(3);
+  EXPECT_EQ(GetParallelismLimit(), 3u);
+  SetParallelismLimit(0);  // Clamped to >= 1.
+  EXPECT_GE(GetParallelismLimit(), 1u);
+}
+
+TEST_F(ParallelTest, MatrixKernelsIdenticalAtAnyThreadCount) {
+  // The correlation and cache-construction results must be bit-identical
+  // regardless of the parallelism limit.
+  std::vector<double> r(64);
+  for (size_t i = 0; i < r.size(); ++i) {
+    r[i] = std::sin(static_cast<double>(i) + 1.0);
+  }
+
+  SetParallelismLimit(1);
+  cs::MeasurementMatrix serial(64, 3000, 7);
+  auto serial_corr = serial.CorrelateAll(r).MoveValue();
+
+  SetParallelismLimit(4);
+  cs::MeasurementMatrix parallel(64, 3000, 7);
+  auto parallel_corr = parallel.CorrelateAll(r).MoveValue();
+
+  EXPECT_EQ(serial_corr, parallel_corr);  // Bitwise.
+  for (size_t j = 0; j < 3000; j += 371) {
+    EXPECT_EQ(serial.Column(j), parallel.Column(j)) << "column " << j;
+  }
+}
+
+}  // namespace
+}  // namespace csod

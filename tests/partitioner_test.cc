@@ -1,0 +1,166 @@
+#include "workload/partitioner.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace csod::workload {
+namespace {
+
+std::vector<double> SumSlices(const std::vector<cs::SparseSlice>& slices,
+                              size_t n) {
+  std::vector<double> x(n, 0.0);
+  for (const auto& slice : slices) {
+    for (size_t j = 0; j < slice.indices.size(); ++j) {
+      x[slice.indices[j]] += slice.values[j];
+    }
+  }
+  return x;
+}
+
+std::vector<double> TestData() {
+  MajorityDominatedOptions options;
+  options.n = 500;
+  options.sparsity = 25;
+  options.seed = 77;
+  return GenerateMajorityDominated(options).Value();
+}
+
+// Property: every strategy preserves the global aggregate bitwise.
+class PartitionExactnessTest
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionExactnessTest, SlicesSumBitwiseExactly) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 8;
+  options.strategy = GetParam();
+  options.seed = 5;
+  options.cancellation_noise =
+      GetParam() == PartitionStrategy::kSkewedSplit ? 300.0 : 0.0;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices.Value().size(), 8u);
+  const std::vector<double> resum = SumSlices(slices.Value(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(resum[i], x[i]) << "key " << i;  // Bitwise, not approximate.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PartitionExactnessTest,
+                         ::testing::Values(PartitionStrategy::kUniformSplit,
+                                           PartitionStrategy::kSkewedSplit,
+                                           PartitionStrategy::kByKey));
+
+TEST(PartitionerTest, SingleNodeGetsEverything) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 1;
+  options.strategy = PartitionStrategy::kUniformSplit;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+  const std::vector<double> resum = SumSlices(slices.Value(), x.size());
+  EXPECT_EQ(resum, x);
+}
+
+TEST(PartitionerTest, ByKeyPlacesEachKeyOnOneNode) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 4;
+  options.strategy = PartitionStrategy::kByKey;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+  std::vector<int> owners(x.size(), 0);
+  for (const auto& slice : slices.Value()) {
+    for (size_t idx : slice.indices) ++owners[idx];
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(owners[i], x[i] == 0.0 ? 0 : 1) << "key " << i;
+  }
+}
+
+TEST(PartitionerTest, UniformSplitSpreadsKeys) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 4;
+  options.strategy = PartitionStrategy::kUniformSplit;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+  // Every node holds (almost) every key.
+  for (const auto& slice : slices.Value()) {
+    EXPECT_GT(slice.nnz(), x.size() / 2);
+  }
+}
+
+TEST(PartitionerTest, CancellationNoiseMakesLocalLookDifferent) {
+  // With cancellation noise, some local value diverges from its key's
+  // global value by more than the noise floor — the "local outlier that is
+  // globally normal" effect.
+  std::vector<double> x(100, 1000.0);
+  PartitionOptions options;
+  options.num_nodes = 4;
+  options.strategy = PartitionStrategy::kSkewedSplit;
+  options.cancellation_noise = 5000.0;
+  options.seed = 3;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+
+  // Global preserved bitwise.
+  const std::vector<double> resum = SumSlices(slices.Value(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(resum[i], x[i]);
+
+  // Some local absolute value far exceeds the global per-node share.
+  double max_local = 0.0;
+  for (const auto& slice : slices.Value()) {
+    for (double v : slice.values) max_local = std::max(max_local, std::fabs(v));
+  }
+  EXPECT_GT(max_local, 1500.0);
+}
+
+TEST(PartitionerTest, MaxHostsRespected) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 8;
+  options.strategy = PartitionStrategy::kSkewedSplit;
+  options.max_hosts_per_key = 2;
+  options.seed = 1;
+  auto slices = PartitionAdditive(x, options);
+  ASSERT_TRUE(slices.ok());
+  std::vector<int> hosts(x.size(), 0);
+  for (const auto& slice : slices.Value()) {
+    for (size_t idx : slice.indices) ++hosts[idx];
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(hosts[i], 2) << "key " << i;
+  }
+}
+
+TEST(PartitionerTest, InvalidOptionsRejected) {
+  PartitionOptions options;
+  options.num_nodes = 0;
+  EXPECT_FALSE(PartitionAdditive({1.0}, options).ok());
+  options.num_nodes = 2;
+  options.cancellation_noise = -1.0;
+  EXPECT_FALSE(PartitionAdditive({1.0}, options).ok());
+}
+
+TEST(PartitionerTest, Deterministic) {
+  const std::vector<double> x = TestData();
+  PartitionOptions options;
+  options.num_nodes = 4;
+  options.seed = 9;
+  auto a = PartitionAdditive(x, options);
+  auto b = PartitionAdditive(x, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(a.Value()[l].indices, b.Value()[l].indices);
+    EXPECT_EQ(a.Value()[l].values, b.Value()[l].values);
+  }
+}
+
+}  // namespace
+}  // namespace csod::workload

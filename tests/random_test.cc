@@ -1,0 +1,152 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/grid.h"
+
+namespace csod {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UnitDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(CounterGaussianTest, PureFunctionOfSeedAndIndex) {
+  CounterGaussian g1(99);
+  CounterGaussian g2(99);
+  // Any evaluation order yields the same values.
+  const double a = g1.At(5);
+  const double b = g1.At(0);
+  EXPECT_EQ(g2.At(0), b);
+  EXPECT_EQ(g2.At(5), a);
+}
+
+TEST(CounterGaussianTest, DistinctSeedsDecorrelated) {
+  CounterGaussian g1(1);
+  CounterGaussian g2(2);
+  double dot = 0.0;
+  double n1 = 0.0;
+  double n2 = 0.0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const double a = g1.At(i);
+    const double b = g2.At(i);
+    dot += a * b;
+    n1 += a * a;
+    n2 += b * b;
+  }
+  EXPECT_LT(std::fabs(dot) / std::sqrt(n1 * n2), 0.05);
+}
+
+TEST(CounterGaussianTest, FillMatchesAt) {
+  CounterGaussian gen(4242);
+  for (uint64_t count : {0u, 1u, 2u, 7u, 64u, 101u}) {
+    std::vector<double> bulk(count);
+    gen.Fill(count, bulk.data());
+    for (uint64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(bulk[i], gen.At(i)) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(CounterGaussianTest, Moments) {
+  CounterGaussian g(31337);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = g.At(static_cast<uint64_t>(i));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(UnitDoubleTest, Ranges) {
+  EXPECT_EQ(ToUnitDouble(0), 0.0);
+  EXPECT_LT(ToUnitDouble(~uint64_t{0}), 1.0);
+  EXPECT_GT(ToOpenUnitDouble(0), 0.0);
+  EXPECT_LE(ToOpenUnitDouble(~uint64_t{0}), 1.0);
+}
+
+TEST(HashTest, SplitMix64IsDeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(GridTest, QuantizationIsIdempotent) {
+  const double v = QuantizeToGrid(1234.56789);
+  EXPECT_EQ(QuantizeToGrid(v), v);
+}
+
+TEST(GridTest, GridSumsAreExact) {
+  // Sums of grid multiples below 2^37 are exact in any order.
+  Rng rng(5);
+  std::vector<double> shares;
+  double total = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double s = QuantizeToGrid(rng.NextDouble() * 1000.0 - 500.0);
+    shares.push_back(s);
+    total += s;
+  }
+  double reverse_total = 0.0;
+  for (auto it = shares.rbegin(); it != shares.rend(); ++it) {
+    reverse_total += *it;
+  }
+  EXPECT_EQ(total, reverse_total);
+}
+
+}  // namespace
+}  // namespace csod

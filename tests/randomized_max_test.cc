@@ -1,0 +1,91 @@
+#include "dist/randomized_max.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/partitioner.h"
+
+namespace csod::dist {
+namespace {
+
+std::unique_ptr<Cluster> MakeCluster(const std::vector<double>& global,
+                                     size_t nodes, uint64_t seed) {
+  workload::PartitionOptions part;
+  part.num_nodes = nodes;
+  part.strategy = workload::PartitionStrategy::kUniformSplit;
+  part.seed = seed;
+  auto cluster = std::make_unique<Cluster>(global.size());
+  auto slices = workload::PartitionAdditive(global, part).MoveValue();
+  for (auto& slice : slices) cluster->AddNode(std::move(slice)).Value();
+  return cluster;
+}
+
+TEST(RandomizedMaxTest, Validation) {
+  CommStats comm;
+  RandomizedMaxOptions options;
+  Cluster empty(10);
+  EXPECT_FALSE(RunRandomizedMax(empty, options, &comm).ok());
+
+  Cluster cluster(4);
+  cs::SparseSlice negative;
+  negative.indices = {0};
+  negative.values = {-1.0};
+  ASSERT_TRUE(cluster.AddNode(negative).ok());
+  EXPECT_FALSE(RunRandomizedMax(cluster, options, &comm).ok());
+  EXPECT_FALSE(RunRandomizedMax(cluster, options, nullptr).ok());
+}
+
+TEST(RandomizedMaxTest, FindsDominantMax) {
+  // A value that towers over the rest: the group containing it wins
+  // essentially every repetition.
+  const size_t n = 512;
+  std::vector<double> global(n);
+  Rng rng(3);
+  for (double& v : global) v = rng.NextDouble() * 5.0;
+  global[137] = 10000.0;
+
+  auto cluster = MakeCluster(global, 4, 5);
+  RandomizedMaxOptions options;
+  options.seed = 11;
+  CommStats comm;
+  auto result = RunRandomizedMax(*cluster, options, &comm).MoveValue();
+  EXPECT_EQ(result.key_index, 137u);
+  EXPECT_NEAR(result.value, 10000.0, 1e-6);
+  EXPECT_EQ(comm.rounds(), 1u);
+
+  // Communication: 2 values per node per repetition + final lookup —
+  // sublinear in N.
+  EXPECT_LT(comm.bytes_total(), 4u * n * kValueBytes);
+}
+
+TEST(RandomizedMaxTest, CommunicationMatchesRepetitions) {
+  std::vector<double> global(64, 1.0);
+  global[5] = 500.0;
+  auto cluster = MakeCluster(global, 3, 7);
+  RandomizedMaxOptions options;
+  options.repetitions = 40;
+  CommStats comm;
+  auto result = RunRandomizedMax(*cluster, options, &comm).MoveValue();
+  EXPECT_EQ(result.repetitions, 40u);
+  EXPECT_EQ(comm.bytes_total(),
+            3u * (2 * 40 * kValueBytes) + 3u * kKeyValueBytes);
+}
+
+TEST(RandomizedMaxTest, DeterministicGivenSeed) {
+  std::vector<double> global(128, 2.0);
+  global[9] = 999.0;
+  auto cluster = MakeCluster(global, 4, 9);
+  RandomizedMaxOptions options;
+  options.seed = 21;
+  CommStats c1, c2;
+  auto a = RunRandomizedMax(*cluster, options, &c1).MoveValue();
+  auto b = RunRandomizedMax(*cluster, options, &c2).MoveValue();
+  EXPECT_EQ(a.key_index, b.key_index);
+  EXPECT_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace csod::dist

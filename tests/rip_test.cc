@@ -1,0 +1,53 @@
+#include "cs/rip.h"
+
+#include <gtest/gtest.h>
+
+namespace csod::cs {
+namespace {
+
+TEST(RipTest, ValidatesArguments) {
+  MeasurementMatrix matrix(16, 64, 1);
+  EXPECT_FALSE(EstimateRipConstant(matrix, 0, 10, 1).ok());
+  EXPECT_FALSE(EstimateRipConstant(matrix, 65, 10, 1).ok());
+  EXPECT_FALSE(EstimateRipConstant(matrix, 4, 0, 1).ok());
+}
+
+TEST(RipTest, GenerousMeasurementsGiveSmallDelta) {
+  // M = 256 measurements for s = 4 sparse vectors out of N = 128: the
+  // Gaussian ensemble is deeply in the RIP regime.
+  MeasurementMatrix matrix(256, 128, 7);
+  auto estimate = EstimateRipConstant(matrix, 4, 200, 3).MoveValue();
+  EXPECT_LT(estimate.delta, 0.5);
+  EXPECT_GT(estimate.min_ratio, 0.5);
+  EXPECT_LT(estimate.max_ratio, 1.5);
+  EXPECT_EQ(estimate.trials, 200u);
+}
+
+TEST(RipTest, DeltaGrowsWithSparsity) {
+  // Fixing M, higher s distorts more (δ_s is non-decreasing in s; the
+  // Monte Carlo probe reflects the trend).
+  MeasurementMatrix matrix(64, 256, 11);
+  auto small_s = EstimateRipConstant(matrix, 2, 300, 5).MoveValue();
+  auto large_s = EstimateRipConstant(matrix, 32, 300, 5).MoveValue();
+  EXPECT_LT(small_s.delta, large_s.delta);
+}
+
+TEST(RipTest, DeltaShrinksWithMeasurements) {
+  MeasurementMatrix small_m(32, 256, 13);
+  MeasurementMatrix large_m(512, 256, 13);
+  auto coarse = EstimateRipConstant(small_m, 8, 200, 9).MoveValue();
+  auto fine = EstimateRipConstant(large_m, 8, 200, 9).MoveValue();
+  EXPECT_LT(fine.delta, coarse.delta);
+}
+
+TEST(RipTest, Deterministic) {
+  MeasurementMatrix matrix(64, 128, 17);
+  auto a = EstimateRipConstant(matrix, 6, 100, 21).MoveValue();
+  auto b = EstimateRipConstant(matrix, 6, 100, 21).MoveValue();
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.min_ratio, b.min_ratio);
+  EXPECT_EQ(a.max_ratio, b.max_ratio);
+}
+
+}  // namespace
+}  // namespace csod::cs

@@ -1,0 +1,111 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("un").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::NotFound("missing key").message(), "missing key");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("negative size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: negative size");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveValueTransfers) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = r.MoveValue();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<std::vector<int>> ProducesVector() {
+  return std::vector<int>{1, 2, 3};
+}
+
+TEST(ResultTest, MoveValueOfTemporarySafeInRangeFor) {
+  // MoveValue returns by value, so iterating the result of a temporary
+  // Result is lifetime-safe (regression test for a dangling-reference
+  // pattern: `for (auto& v : F().Value())` dangles, MoveValue must not).
+  int sum = 0;
+  for (int v : ProducesVector().MoveValue()) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+Status FailingOperation() { return Status::Internal("boom"); }
+
+Status PropagatesWithMacro() {
+  CSOD_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  Status s = PropagatesWithMacro();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+Result<int> ProducesValue() { return 7; }
+Result<int> ProducesError() { return Status::OutOfRange("bad index"); }
+
+Result<int> UsesAssignMacro(bool fail) {
+  CSOD_ASSIGN_OR_RETURN(int v, fail ? ProducesError() : ProducesValue());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = UsesAssignMacro(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.Value(), 8);
+
+  Result<int> err = UsesAssignMacro(true);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace csod

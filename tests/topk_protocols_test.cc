@@ -1,0 +1,146 @@
+#include "dist/topk_protocols.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "outlier/outlier.h"
+#include "workload/generators.h"
+#include "workload/partitioner.h"
+
+namespace csod::dist {
+namespace {
+
+// Non-negative global vector split by key across nodes.
+struct TopKSetup {
+  std::vector<double> global;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<outlier::Outlier> truth;
+};
+
+TopKSetup MakeSetup(size_t n, size_t num_nodes, size_t k, uint64_t seed,
+                    workload::PartitionStrategy strategy =
+                        workload::PartitionStrategy::kByKey) {
+  workload::PowerLawOptions gen;
+  gen.n = n;
+  gen.alpha = 1.2;
+  gen.seed = seed;
+  TopKSetup setup;
+  setup.global = workload::GeneratePowerLaw(gen).Value();
+
+  workload::PartitionOptions part;
+  part.num_nodes = num_nodes;
+  part.strategy = strategy;
+  part.seed = seed + 1;
+  auto slices = workload::PartitionAdditive(setup.global, part).Value();
+  setup.cluster = std::make_unique<Cluster>(n);
+  for (auto& slice : slices) {
+    EXPECT_TRUE(setup.cluster->AddNode(std::move(slice)).ok());
+  }
+  setup.truth = outlier::TopK(setup.global, k);
+  return setup;
+}
+
+void ExpectSameKeys(const std::vector<outlier::Outlier>& expected,
+                    const std::vector<outlier::Outlier>& actual) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].key_index, expected[i].key_index) << "rank " << i;
+    EXPECT_NEAR(actual[i].value, expected[i].value, 1e-9) << "rank " << i;
+  }
+}
+
+TEST(ThresholdAlgorithmTest, ExactOnByKeyPartition) {
+  const size_t k = 10;
+  TopKSetup setup = MakeSetup(500, 4, k, 3);
+  CommStats comm;
+  auto result = RunThresholdAlgorithmTopK(*setup.cluster, k, 8, &comm);
+  ASSERT_TRUE(result.ok());
+  ExpectSameKeys(setup.truth, result.Value().top);
+  EXPECT_GE(comm.rounds(), 1u);
+}
+
+TEST(ThresholdAlgorithmTest, ExactOnUniformSplit) {
+  const size_t k = 5;
+  TopKSetup setup =
+      MakeSetup(300, 5, k, 9, workload::PartitionStrategy::kUniformSplit);
+  CommStats comm;
+  auto result = RunThresholdAlgorithmTopK(*setup.cluster, k, 16, &comm);
+  ASSERT_TRUE(result.ok());
+  ExpectSameKeys(setup.truth, result.Value().top);
+}
+
+TEST(ThresholdAlgorithmTest, MultiRoundCheaperThanFullScanOnSkewedTop) {
+  // TA should terminate after seeing only a prefix of each sorted list.
+  const size_t n = 2000;
+  const size_t k = 3;
+  TopKSetup setup = MakeSetup(n, 4, k, 17);
+  CommStats comm;
+  auto result = RunThresholdAlgorithmTopK(*setup.cluster, k, 4, &comm);
+  ASSERT_TRUE(result.ok());
+  ExpectSameKeys(setup.truth, result.Value().top);
+  // Communication well below shipping all nnz tuples to the aggregator
+  // plus random access for every key.
+  EXPECT_LT(comm.tuples_total(), 4u * n);
+}
+
+TEST(ThresholdAlgorithmTest, RejectsBadInputs) {
+  Cluster cluster(10);
+  CommStats comm;
+  EXPECT_FALSE(RunThresholdAlgorithmTopK(cluster, 3, 4, &comm).ok());
+  cs::SparseSlice slice;
+  slice.indices = {0};
+  slice.values = {1.0};
+  ASSERT_TRUE(cluster.AddNode(slice).ok());
+  EXPECT_FALSE(RunThresholdAlgorithmTopK(cluster, 3, 0, &comm).ok());
+  EXPECT_FALSE(RunThresholdAlgorithmTopK(cluster, 3, 4, nullptr).ok());
+}
+
+TEST(ThresholdAlgorithmTest, RejectsNegativeValues) {
+  Cluster cluster(4);
+  cs::SparseSlice slice;
+  slice.indices = {0, 1};
+  slice.values = {1.0, -2.0};
+  ASSERT_TRUE(cluster.AddNode(slice).ok());
+  CommStats comm;
+  auto result = RunThresholdAlgorithmTopK(cluster, 2, 4, &comm);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TputTest, ExactOnByKeyPartition) {
+  const size_t k = 10;
+  TopKSetup setup = MakeSetup(500, 4, k, 5);
+  CommStats comm;
+  auto result = RunTputTopK(*setup.cluster, k, &comm);
+  ASSERT_TRUE(result.ok());
+  ExpectSameKeys(setup.truth, result.Value().top);
+  EXPECT_EQ(comm.rounds(), 3u);
+}
+
+TEST(TputTest, ExactOnUniformSplit) {
+  const size_t k = 7;
+  TopKSetup setup =
+      MakeSetup(400, 6, k, 23, workload::PartitionStrategy::kUniformSplit);
+  CommStats comm;
+  auto result = RunTputTopK(*setup.cluster, k, &comm);
+  ASSERT_TRUE(result.ok());
+  ExpectSameKeys(setup.truth, result.Value().top);
+}
+
+TEST(TputTest, RejectsNegativeAndEmpty) {
+  Cluster empty(4);
+  CommStats comm;
+  EXPECT_FALSE(RunTputTopK(empty, 2, &comm).ok());
+
+  Cluster cluster(4);
+  cs::SparseSlice slice;
+  slice.indices = {0};
+  slice.values = {-1.0};
+  ASSERT_TRUE(cluster.AddNode(slice).ok());
+  EXPECT_FALSE(RunTputTopK(cluster, 2, &comm).ok());
+}
+
+}  // namespace
+}  // namespace csod::dist

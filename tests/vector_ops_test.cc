@@ -1,0 +1,52 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace csod::la {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2Squared({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> y = {1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, &y);
+  EXPECT_EQ(y, (std::vector<double>{3, 5, 7}));
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x = {1, -2, 3};
+  Scale(-2.0, &x);
+  EXPECT_EQ(x, (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(VectorOpsTest, AddSubtract) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Subtract({1, 2}, {3, 4}), (std::vector<double>{-2, -2}));
+}
+
+TEST(VectorOpsTest, DistanceL2) {
+  EXPECT_DOUBLE_EQ(DistanceL2({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceL2({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(VectorOpsTest, CauchySchwarzProperty) {
+  // |<a,b>| <= ||a|| * ||b|| over a few deterministic vectors.
+  const std::vector<double> a = {0.3, -1.7, 2.2, 0.0, 5.1};
+  const std::vector<double> b = {-2.0, 0.4, 1.1, 3.3, -0.9};
+  EXPECT_LE(std::fabs(Dot(a, b)), Norm2(a) * Norm2(b) + 1e-12);
+}
+
+}  // namespace
+}  // namespace csod::la

@@ -1,0 +1,148 @@
+#include "core/windowed_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/vector_ops.h"
+#include "outlier/metrics.h"
+
+namespace csod::core {
+namespace {
+
+WindowedDetectorOptions SmallOptions(size_t window = 3) {
+  WindowedDetectorOptions options;
+  options.n = 400;
+  options.m = 150;
+  options.seed = 5;
+  options.iterations = 12;
+  options.window_epochs = window;
+  return options;
+}
+
+cs::SparseSlice BaselineSlice(size_t n, double value) {
+  cs::SparseSlice slice;
+  for (size_t i = 0; i < n; ++i) {
+    slice.indices.push_back(i);
+    slice.values.push_back(value);
+  }
+  return slice;
+}
+
+cs::SparseSlice Spike(size_t key, double value) {
+  cs::SparseSlice slice;
+  slice.indices = {key};
+  slice.values = {value};
+  return slice;
+}
+
+TEST(WindowedDetectorTest, CreateValidates) {
+  WindowedDetectorOptions bad;
+  EXPECT_FALSE(WindowedOutlierDetector::Create(bad).ok());
+  bad.n = 10;
+  EXPECT_FALSE(WindowedOutlierDetector::Create(bad).ok());
+  bad.m = 4;
+  EXPECT_FALSE(WindowedOutlierDetector::Create(bad).ok());
+  bad.window_epochs = 2;
+  EXPECT_TRUE(WindowedOutlierDetector::Create(bad).ok());
+}
+
+TEST(WindowedDetectorTest, IngestBeforeEpochFails) {
+  auto detector = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  EXPECT_FALSE(detector->Ingest(Spike(1, 2.0)).ok());
+  EXPECT_FALSE(detector->IngestMeasurement(std::vector<double>(150)).ok());
+  EXPECT_FALSE(detector->Detect(3).ok());
+}
+
+TEST(WindowedDetectorTest, DetectsWithinWindow) {
+  auto detector = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  detector->AdvanceEpoch();
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 100.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(42, 50000.0)).ok());
+  auto result = detector->Detect(1).MoveValue();
+  ASSERT_EQ(result.outliers.size(), 1u);
+  EXPECT_EQ(result.outliers[0].key_index, 42u);
+  EXPECT_NEAR(result.mode, 100.0, 1e-3);
+}
+
+TEST(WindowedDetectorTest, OldEpochsExpire) {
+  // A spike in epoch 0 must vanish from queries once the window slides
+  // past it.
+  auto detector =
+      WindowedOutlierDetector::Create(SmallOptions(/*window=*/2)).MoveValue();
+
+  detector->AdvanceEpoch();  // Epoch 0: the spike.
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(7, 90000.0)).ok());
+
+  auto with_spike = detector->Detect(1).MoveValue();
+  ASSERT_EQ(with_spike.outliers.size(), 1u);
+  EXPECT_EQ(with_spike.outliers[0].key_index, 7u);
+
+  detector->AdvanceEpoch();  // Epoch 1: quiet.
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  detector->AdvanceEpoch();  // Epoch 2: epoch 0 expires (window = 2).
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(300, -70000.0)).ok());
+  EXPECT_EQ(detector->epochs_retained(), 2u);
+
+  auto after = detector->Detect(1).MoveValue();
+  ASSERT_EQ(after.outliers.size(), 1u);
+  EXPECT_EQ(after.outliers[0].key_index, 300u);  // Key 7's spike is gone.
+}
+
+TEST(WindowedDetectorTest, WindowSumMatchesUnwindowedDetector) {
+  // Two epochs of data within the window == one detector fed both slices.
+  auto windowed =
+      WindowedOutlierDetector::Create(SmallOptions(/*window=*/4)).MoveValue();
+  windowed->AdvanceEpoch();
+  ASSERT_TRUE(windowed->Ingest(BaselineSlice(400, 30.0)).ok());
+  windowed->AdvanceEpoch();
+  ASSERT_TRUE(windowed->Ingest(Spike(9, 12345.0)).ok());
+
+  DetectorOptions plain_options;
+  plain_options.n = 400;
+  plain_options.m = 150;
+  plain_options.seed = 5;
+  plain_options.iterations = 12;
+  auto plain = DistributedOutlierDetector::Create(plain_options).MoveValue();
+  ASSERT_TRUE(plain->AddSource(BaselineSlice(400, 30.0)).ok());
+  ASSERT_TRUE(plain->AddSource(Spike(9, 12345.0)).ok());
+
+  auto windowed_recovery = windowed->Recover(12).MoveValue();
+  auto plain_recovery = plain->Recover(12).MoveValue();
+  EXPECT_LT(la::DistanceL2(windowed_recovery.Materialize(400),
+                           plain_recovery.Materialize(400)),
+            1e-9);
+}
+
+TEST(WindowedDetectorTest, IngestMeasurementEquivalentToIngest) {
+  auto a = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  auto b = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  cs::SparseSlice slice = Spike(11, 777.0);
+
+  a->AdvanceEpoch();
+  ASSERT_TRUE(a->Ingest(slice).ok());
+
+  cs::MeasurementMatrix matrix(150, 400, 5);
+  auto y = matrix.MultiplySparse(slice.indices, slice.values).MoveValue();
+  b->AdvanceEpoch();
+  ASSERT_TRUE(b->IngestMeasurement(y).ok());
+
+  auto ra = a->Recover(8).MoveValue();
+  auto rb = b->Recover(8).MoveValue();
+  EXPECT_EQ(ra.Materialize(400), rb.Materialize(400));
+}
+
+TEST(WindowedDetectorTest, EpochCounterAdvances) {
+  auto detector = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  EXPECT_EQ(detector->current_epoch(), 0u);
+  EXPECT_EQ(detector->AdvanceEpoch(), 0u);
+  EXPECT_EQ(detector->AdvanceEpoch(), 1u);
+  EXPECT_EQ(detector->AdvanceEpoch(), 2u);
+  EXPECT_EQ(detector->AdvanceEpoch(), 3u);
+  EXPECT_EQ(detector->epochs_retained(), 3u);  // window_epochs == 3.
+}
+
+}  // namespace
+}  // namespace csod::core

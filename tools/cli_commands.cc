@@ -1,0 +1,303 @@
+#include "tools/cli_commands.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/detector.h"
+#include "dist/comm.h"
+#include "outlier/outlier.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "workload/generators.h"
+#include "workload/partitioner.h"
+
+namespace csod::tools {
+
+namespace {
+
+// Builds per-node sparse slices (with in-node aggregation) from the file.
+std::vector<cs::SparseSlice> SlicesFromEvents(const EventFile& events) {
+  std::vector<cs::SparseSlice> slices;
+  slices.reserve(events.splits.size());
+  for (const auto& split : events.splits) {
+    std::map<uint64_t, double> sums;
+    for (const mr::ScoreEvent& e : split) sums[e.key] += e.score;
+    cs::SparseSlice slice;
+    for (const auto& [key, value] : sums) {
+      slice.indices.push_back(key);
+      slice.values.push_back(value);
+    }
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+std::string RenderOutliers(const outlier::OutlierSet& set,
+                           const char* header) {
+  std::ostringstream out;
+  out << header << " (mode " << set.mode << ")\n";
+  char line[128];
+  for (size_t i = 0; i < set.outliers.size(); ++i) {
+    const auto& o = set.outliers[i];
+    std::snprintf(line, sizeof(line),
+                  "  %2zu. key %-10zu value %14.3f divergence %14.3f\n",
+                  i + 1, o.key_index, o.value, o.divergence);
+    out << line;
+  }
+  return out.str();
+}
+
+Result<std::unique_ptr<core::DistributedOutlierDetector>> BuildDetector(
+    const EventFile& events, const DetectOptions& options) {
+  core::DetectorOptions detector_options;
+  detector_options.n =
+      options.n_override ? options.n_override : events.key_space;
+  detector_options.m = options.m;
+  detector_options.seed = options.seed;
+  detector_options.iterations = options.iterations;
+  CSOD_ASSIGN_OR_RETURN(auto detector,
+                        core::DistributedOutlierDetector::Create(
+                            detector_options));
+  for (const auto& slice : SlicesFromEvents(events)) {
+    CSOD_RETURN_NOT_OK(detector->AddSource(slice).status());
+  }
+  return detector;
+}
+
+std::string CommunicationFooter(const EventFile& events,
+                                const DetectOptions& options, size_t n) {
+  const uint64_t cs_bytes = static_cast<uint64_t>(events.splits.size()) *
+                            options.m * dist::kMeasurementBytes;
+  const uint64_t all_bytes =
+      static_cast<uint64_t>(events.splits.size()) * n * dist::kValueBytes;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "communication: %llu bytes (%.2f%% of transmitting all "
+                "%zu-key vectors from %zu nodes)\n",
+                static_cast<unsigned long long>(cs_bytes),
+                all_bytes ? 100.0 * static_cast<double>(cs_bytes) /
+                                static_cast<double>(all_bytes)
+                          : 0.0,
+                n, events.splits.size());
+  return line;
+}
+
+}  // namespace
+
+Result<size_t> WriteSyntheticEvents(const std::string& path,
+                                    const GenerateOptions& options) {
+  workload::ClickLogOptions gen;
+  gen.n_override = options.n;
+  gen.sparsity_override = options.sparsity;
+  gen.mode = options.mode;
+  gen.seed = options.seed;
+  CSOD_ASSIGN_OR_RETURN(workload::ClickLogData data,
+                        workload::GenerateClickLog(gen));
+
+  workload::PartitionOptions part;
+  part.num_nodes = options.num_nodes;
+  part.strategy = workload::PartitionStrategy::kSkewedSplit;
+  part.cancellation_noise = 2.0 * options.mode;
+  part.seed = options.seed + 1;
+  CSOD_ASSIGN_OR_RETURN(auto slices,
+                        workload::PartitionAdditive(data.global, part));
+
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "# csod event file: <node-id> <key-index> <value>\n";
+  out << "# N = " << options.n << ", planted outliers = " << options.sparsity
+      << ", mode = " << options.mode << "\n";
+  out.precision(17);
+  size_t records = 0;
+  for (size_t node = 0; node < slices.size(); ++node) {
+    for (size_t j = 0; j < slices[node].indices.size(); ++j) {
+      out << node << ' ' << slices[node].indices[j] << ' '
+          << slices[node].values[j] << '\n';
+      ++records;
+    }
+  }
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return records;
+}
+
+Result<EventFile> LoadEvents(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  EventFile file;
+  std::map<uint64_t, size_t> node_rank;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    uint64_t node = 0;
+    uint64_t key = 0;
+    double value = 0.0;
+    if (!(fields >> node >> key >> value)) {
+      return Status::InvalidArgument("malformed record at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    auto [it, inserted] = node_rank.try_emplace(node, file.splits.size());
+    if (inserted) file.splits.emplace_back();
+    file.splits[it->second].push_back(mr::ScoreEvent{key, value});
+    file.key_space = std::max(file.key_space, static_cast<size_t>(key) + 1);
+    ++file.num_records;
+  }
+  if (file.num_records == 0) {
+    return Status::InvalidArgument("no records in: " + path);
+  }
+  return file;
+}
+
+Result<std::string> RunDetect(const EventFile& events,
+                              const DetectOptions& options) {
+  CSOD_ASSIGN_OR_RETURN(auto detector, BuildDetector(events, options));
+  CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet result,
+                        detector->Detect(options.k));
+  std::string report = RenderOutliers(result, "k-outliers via BOMP");
+  report += CommunicationFooter(events, options, detector->options().n);
+  return report;
+}
+
+Result<std::string> RunTopK(const EventFile& events,
+                            const DetectOptions& options) {
+  CSOD_ASSIGN_OR_RETURN(auto detector, BuildDetector(events, options));
+  CSOD_ASSIGN_OR_RETURN(auto top, detector->DetectTopK(options.k));
+  outlier::OutlierSet as_set;
+  as_set.outliers = std::move(top);
+  std::string report = RenderOutliers(as_set, "top-k via CS recovery");
+  report += CommunicationFooter(events, options, detector->options().n);
+  return report;
+}
+
+Result<TableFile> LoadCsvTable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  TableFile table;
+  std::map<std::string, size_t> node_rank;
+  size_t node_column = 0;
+  bool header_seen = false;
+  std::string line;
+  size_t line_number = 0;
+
+  auto split = [](const std::string& text) {
+    std::vector<std::string> cells;
+    size_t start = 0;
+    while (true) {
+      const size_t comma = text.find(',', start);
+      cells.push_back(text.substr(start, comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return cells;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cells = split(line);
+    if (!header_seen) {
+      header_seen = true;
+      bool node_found = false;
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i] == "node") {
+          node_column = i;
+          node_found = true;
+        } else {
+          table.columns.push_back(cells[i]);
+        }
+      }
+      if (!node_found) {
+        return Status::InvalidArgument("header must contain a 'node' column");
+      }
+      continue;
+    }
+    if (cells.size() != table.columns.size() + 1) {
+      return Status::InvalidArgument(
+          "wrong cell count at " + path + ":" + std::to_string(line_number));
+    }
+    const std::string& node = cells[node_column];
+    auto [it, inserted] = node_rank.try_emplace(node, table.node_rows.size());
+    if (inserted) table.node_rows.emplace_back();
+    std::vector<std::string> row;
+    row.reserve(table.columns.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != node_column) row.push_back(std::move(cells[i]));
+    }
+    table.node_rows[it->second].push_back(std::move(row));
+  }
+  if (!header_seen || table.node_rows.empty()) {
+    return Status::InvalidArgument("no data rows in: " + path);
+  }
+  return table;
+}
+
+Result<std::string> RunQuery(const TableFile& table, const std::string& sql,
+                             const DetectOptions& options) {
+  CSOD_ASSIGN_OR_RETURN(query::Query parsed, query::ParseQuery(sql));
+
+  std::vector<query::LogTable> node_tables;
+  node_tables.reserve(table.node_rows.size());
+  for (const auto& rows : table.node_rows) {
+    query::LogTable log_table;
+    log_table.columns = table.columns;
+    for (const auto& row : rows) {
+      CSOD_RETURN_NOT_OK(log_table.AddRow(row));
+    }
+    node_tables.push_back(std::move(log_table));
+  }
+
+  query::ExecutionOptions exec;
+  exec.m = options.m;
+  exec.seed = options.seed;
+  exec.iterations = options.iterations;
+  CSOD_ASSIGN_OR_RETURN(query::QueryResult result,
+                        query::ExecuteDistributed(parsed, node_tables, exec));
+
+  std::ostringstream out;
+  out << (parsed.kind == query::QueryKind::kOutlier ? "Outlier" : "Top")
+      << "-" << parsed.k << " answer over " << result.key_space
+      << " group keys (mode " << result.mode << ")\n";
+  char line[192];
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  %2zu. %-40s value %14.3f\n", i + 1,
+                  result.rows[i].group_key.c_str(), result.rows[i].value);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "communication: %llu bytes (%.2f%% of transmitting all "
+                "aggregates)\n",
+                static_cast<unsigned long long>(result.bytes_shipped),
+                result.bytes_all
+                    ? 100.0 * static_cast<double>(result.bytes_shipped) /
+                          static_cast<double>(result.bytes_all)
+                    : 0.0);
+  out << line;
+  return out.str();
+}
+
+Result<std::string> RunExact(const EventFile& events, size_t k) {
+  std::vector<double> global(events.key_space, 0.0);
+  for (const auto& slice : SlicesFromEvents(events)) {
+    for (size_t j = 0; j < slice.indices.size(); ++j) {
+      global[slice.indices[j]] += slice.values[j];
+    }
+  }
+  outlier::OutlierSet truth = outlier::ExactKOutliers(global, k);
+  return RenderOutliers(truth, "exact k-outliers (centralized reference)");
+}
+
+}  // namespace csod::tools

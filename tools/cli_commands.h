@@ -1,0 +1,90 @@
+#ifndef CSOD_TOOLS_CLI_COMMANDS_H_
+#define CSOD_TOOLS_CLI_COMMANDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/jobs.h"
+
+namespace csod::tools {
+
+/// \brief The testable core of the `csod` command-line tool.
+///
+/// Event files are plain text, one record per line:
+///     <node-id> <key-index> <value>
+/// with `#`-prefixed comment lines ignored. This is the thinnest
+/// interchange format that exercises the full pipeline (per-node slices →
+/// compression → aggregation → recovery) from the shell.
+
+/// Options for the `generate` subcommand.
+struct GenerateOptions {
+  size_t n = 4000;
+  size_t sparsity = 50;
+  size_t num_nodes = 8;
+  double mode = 1800.0;
+  uint64_t seed = 1;
+};
+
+/// Generates a synthetic click-log workload, partitions it over
+/// `num_nodes` with the skewed partitioner, and writes the event file.
+/// Returns the number of records written.
+Result<size_t> WriteSyntheticEvents(const std::string& path,
+                                    const GenerateOptions& options);
+
+/// Parsed event file: per-node event lists (index = dense node rank) and
+/// the smallest key space that contains every key.
+struct EventFile {
+  std::vector<std::vector<mr::ScoreEvent>> splits;
+  size_t key_space = 0;
+  size_t num_records = 0;
+};
+
+/// Loads an event file; malformed lines yield InvalidArgument with the
+/// line number.
+Result<EventFile> LoadEvents(const std::string& path);
+
+/// Options for the `detect` / `topk` subcommands.
+struct DetectOptions {
+  size_t m = 400;
+  size_t k = 5;
+  uint64_t seed = 42;
+  size_t iterations = 0;  ///< 0 = the paper's f(k).
+  /// Override the key space (0 = infer from the file).
+  size_t n_override = 0;
+};
+
+/// Runs CS-based k-outlier detection over the event file's nodes and
+/// renders a human-readable report (outliers, mode, communication).
+Result<std::string> RunDetect(const EventFile& events,
+                              const DetectOptions& options);
+
+/// Runs CS-based top-k (zero-mode extension) and renders a report.
+Result<std::string> RunTopK(const EventFile& events,
+                            const DetectOptions& options);
+
+/// Runs the exact centralized reference and renders the same report shape
+/// (ground truth for eyeballing `detect` output).
+Result<std::string> RunExact(const EventFile& events, size_t k);
+
+/// Loads a CSV table file for the `query` subcommand. Format: a header
+/// line naming the columns, one of which must be `node` (the owning
+/// node); remaining columns become the LogTable. Cells must not contain
+/// commas; `#` lines are ignored.
+struct TableFile {
+  std::vector<std::string> columns;  ///< Without the node column.
+  /// One LogTable per node, dense node ranks in first-seen order.
+  std::vector<std::vector<std::vector<std::string>>> node_rows;
+};
+
+Result<TableFile> LoadCsvTable(const std::string& path);
+
+/// Parses and executes the paper's query template over the CSV table,
+/// rendering a report (answer rows, mode, communication).
+Result<std::string> RunQuery(const TableFile& table, const std::string& sql,
+                             const DetectOptions& options);
+
+}  // namespace csod::tools
+
+#endif  // CSOD_TOOLS_CLI_COMMANDS_H_
