@@ -4,11 +4,17 @@
 // decisions called out in DESIGN.md (dense cache vs regeneration) and the
 // GPU-offload opportunity the paper leaves as future work.
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "cs/basis_pursuit.h"
 #include "cs/bomp.h"
 #include "cs/compressor.h"
@@ -134,7 +140,151 @@ void BM_BompRecovery(benchmark::State& state) {
 BENCHMARK(BM_BompRecovery)
     ->Args({1000, 10, 100})
     ->Args({1000, 50, 400})
-    ->Args({10000, 50, 400});
+    ->Args({10000, 50, 400})
+    ->Args({100000, 50, 512})  // Paper scale; the acceptance target.
+    ->Unit(benchmark::kMillisecond);
+
+// The seed's ParallelFor: spawn + join fresh std::threads on every call.
+// Kept here as the baseline BM_SpawnJoinOverhead so the pool's dispatch win
+// is measurable against it in the same binary.
+void SpawnJoinParallelFor(size_t count, size_t min_chunk,
+                          const std::function<void(size_t, size_t)>& body) {
+  const size_t limit = GetParallelismLimit();
+  const size_t chunks =
+      std::min(limit, std::max<size_t>(1, count / std::max<size_t>(1, min_chunk)));
+  if (chunks <= 1 || count == 0) {
+    if (count > 0) body(0, count);
+    return;
+  }
+  const size_t chunk_size = (count + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(count, begin + chunk_size);
+    if (begin < end) threads.emplace_back(body, begin, end);
+  }
+  body(0, std::min(count, chunk_size));
+  for (auto& t : threads) t.join();
+}
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Dispatch cost of the persistent pool: trivial body, small range. The
+  // pool parks workers between calls, so steady state is one notify_all
+  // plus the chunk bookkeeping.
+  SetParallelismLimit(4);
+  for (auto _ : state) {
+    ParallelFor(4096, 1, [](size_t begin, size_t end) {
+      benchmark::DoNotOptimize(begin + end);
+    });
+  }
+  state.counters["workers"] =
+      static_cast<double>(ThreadPool::Global().worker_count());
+  SetParallelismLimit(std::max<size_t>(1, std::thread::hardware_concurrency()));
+}
+BENCHMARK(BM_ParallelForOverhead);
+
+void BM_SpawnJoinOverhead(benchmark::State& state) {
+  // What the seed paid per ParallelFor call: thread creation + join.
+  SetParallelismLimit(4);
+  for (auto _ : state) {
+    SpawnJoinParallelFor(4096, 1, [](size_t begin, size_t end) {
+      benchmark::DoNotOptimize(begin + end);
+    });
+  }
+  SetParallelismLimit(std::max<size_t>(1, std::thread::hardware_concurrency()));
+}
+BENCHMARK(BM_SpawnJoinOverhead);
+
+void BM_CorrelateArgmax(benchmark::State& state) {
+  // The fused OMP statement-4 kernel at paper scale: M=512, N=100k, cached
+  // (409.6 MB, inside the default 512 MB budget).
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, n, 9);
+  std::vector<double> r(m);
+  Rng rng(2);
+  for (double& v : r) v = rng.NextGaussian();
+  std::vector<bool> mask(n, false);
+  for (size_t j = 0; j < n; j += 997) mask[j] = true;
+  for (auto _ : state) {
+    auto pick = matrix.CorrelateArgmax(r, &mask);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n);
+}
+BENCHMARK(BM_CorrelateArgmax)->Args({512, 100000})->Unit(benchmark::kMillisecond);
+
+void BM_CorrelateAllPlusScan(benchmark::State& state) {
+  // The unfused shape of the same work: materialize the N-vector of
+  // correlations, then rescan it for the masked argmax.
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, n, 9);
+  std::vector<double> r(m);
+  Rng rng(2);
+  for (double& v : r) v = rng.NextGaussian();
+  std::vector<bool> mask(n, false);
+  for (size_t j = 0; j < n; j += 997) mask[j] = true;
+  for (auto _ : state) {
+    auto c = matrix.CorrelateAll(r).MoveValue();
+    size_t best = n;
+    double best_abs = -1.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (mask[j]) continue;
+      const double a = std::fabs(c[j]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n);
+}
+BENCHMARK(BM_CorrelateAllPlusScan)
+    ->Args({512, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorrelateScalarPlusScan(benchmark::State& state) {
+  // Seed-equivalent baseline: one scalar accumulator per column over an
+  // identical column-major cache, then the argmax rescan. This is the
+  // kernel shape the register-blocked CorrelateArgmax replaces.
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  cs::MeasurementMatrix matrix(m, n, 9, /*cache_budget_bytes=*/0);
+  std::vector<double> cache(m * n);
+  for (size_t j = 0; j < n; ++j) matrix.FillColumn(j, cache.data() + j * m);
+  std::vector<double> r(m);
+  Rng rng(2);
+  for (double& v : r) v = rng.NextGaussian();
+  std::vector<bool> mask(n, false);
+  for (size_t j = 0; j < n; j += 997) mask[j] = true;
+  std::vector<double> c(n);
+  for (auto _ : state) {
+    for (size_t j = 0; j < n; ++j) {
+      const double* col = cache.data() + j * m;
+      double acc = 0.0;
+      for (size_t i = 0; i < m; ++i) acc += col[i] * r[i];
+      c[j] = acc;
+    }
+    size_t best = n;
+    double best_abs = -1.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (mask[j]) continue;
+      const double a = std::fabs(c[j]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n);
+}
+BENCHMARK(BM_CorrelateScalarPlusScan)
+    ->Args({512, 100000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CountSketchUpdate(benchmark::State& state) {
   auto sketch = sketch::CountSketch::Create(1024, 5, 3).MoveValue();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the micro-kernel benchmark suite and writes BENCH_kernels.json
+# (google-benchmark JSON reporter) at the repo root, for comparing the
+# persistent-pool / fused-argmax kernels against earlier checkouts.
+#
+# Usage: scripts/run_bench_kernels.sh [benchmark_filter_regex]
+#   BUILD_DIR=<dir>  build directory (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+FILTER="${1:-.*}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_micro_kernels -j "$(nproc)"
+
+"$BUILD_DIR/bench/bench_micro_kernels" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$ROOT/BENCH_kernels.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}"
+
+echo "Wrote $ROOT/BENCH_kernels.json"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree under a sanitizer and runs the tier-1 test suite.
+# ThreadSanitizer is the default: it is the one that exercises the
+# persistent thread pool's dispatch/park/steal protocol.
+#
+# Usage: scripts/run_sanitizers.sh [thread|address] [ctest_filter_regex]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SAN="${1:-thread}"
+FILTER="${2:-}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-${SAN}san}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSOD_SANITIZE="$SAN"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+if [[ -n "$FILTER" ]]; then
+  ctest --output-on-failure -j "$(nproc)" -R "$FILTER"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

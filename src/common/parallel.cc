@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace csod {
 
@@ -19,6 +20,17 @@ size_t EffectiveLimit() {
   return limit;
 }
 
+// Trampolines bridging the std::function bodies to the pool's raw
+// ChunkFn + context calling convention (no per-call allocation).
+void InvokeRangeBody(void* ctx, size_t /*chunk*/, size_t begin, size_t end) {
+  (*static_cast<const std::function<void(size_t, size_t)>*>(ctx))(begin, end);
+}
+
+void InvokeChunkBody(void* ctx, size_t chunk, size_t begin, size_t end) {
+  (*static_cast<const std::function<void(size_t, size_t, size_t)>*>(ctx))(
+      chunk, begin, end);
+}
+
 }  // namespace
 
 void SetParallelismLimit(size_t max_threads) {
@@ -28,30 +40,42 @@ void SetParallelismLimit(size_t max_threads) {
 
 size_t GetParallelismLimit() { return EffectiveLimit(); }
 
+size_t ParallelChunkCount(size_t count, size_t min_chunk) {
+  if (count == 0) return 0;
+  min_chunk = std::max<size_t>(1, min_chunk);
+  return std::min(EffectiveLimit(), std::max<size_t>(1, count / min_chunk));
+}
+
 void ParallelFor(size_t count, size_t min_chunk,
                  const std::function<void(size_t, size_t)>& body) {
   if (count == 0) return;
-  min_chunk = std::max<size_t>(1, min_chunk);
-  const size_t limit = EffectiveLimit();
-  // Deterministic chunking: depends only on count and the limit.
-  const size_t chunks =
-      std::min(limit, std::max<size_t>(1, count / min_chunk));
+  // Deterministic chunking: depends only on count, min_chunk and the limit.
+  const size_t chunks = ParallelChunkCount(count, min_chunk);
   if (chunks <= 1) {
     body(0, count);
     return;
   }
   const size_t chunk_size = (count + chunks - 1) / chunks;
+  ThreadPool::Global().RunChunked(
+      &InvokeRangeBody,
+      const_cast<void*>(static_cast<const void*>(&body)), count, chunks,
+      chunk_size);
+}
 
-  std::vector<std::thread> workers;
-  workers.reserve(chunks - 1);
-  for (size_t c = 1; c < chunks; ++c) {
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(count, begin + chunk_size);
-    if (begin >= end) break;
-    workers.emplace_back([&body, begin, end] { body(begin, end); });
+void ParallelForChunks(
+    size_t count, size_t chunk_count,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (count == 0 || chunk_count == 0) return;
+  chunk_count = std::min(chunk_count, count);
+  if (chunk_count <= 1) {
+    body(0, 0, count);
+    return;
   }
-  body(0, std::min(count, chunk_size));  // First chunk on this thread.
-  for (std::thread& worker : workers) worker.join();
+  const size_t chunk_size = (count + chunk_count - 1) / chunk_count;
+  ThreadPool::Global().RunChunked(
+      &InvokeChunkBody,
+      const_cast<void*>(static_cast<const void*>(&body)), count, chunk_count,
+      chunk_size);
 }
 
 }  // namespace csod

@@ -8,7 +8,10 @@ namespace csod {
 
 /// Number of worker threads ParallelFor may use. Defaults to the hardware
 /// concurrency; override globally (e.g. 1 to force serial execution in
-/// tests or when the caller owns threading).
+/// tests or when the caller owns threading). The limit may be raised or
+/// lowered at any point between calls: the backing pool grows lazily to the
+/// high-water mark and simply leaves extra workers parked when the limit
+/// shrinks.
 void SetParallelismLimit(size_t max_threads);
 size_t GetParallelismLimit();
 
@@ -16,18 +19,42 @@ size_t GetParallelismLimit();
 /// disjoint contiguous chunks covering [0, count).
 ///
 /// Guarantees:
-///  - chunk boundaries depend only on `count` and the parallelism limit,
-///    never on scheduling, so writes to per-index output slots yield
-///    bit-identical results at any thread count;
+///  - chunk boundaries depend only on `count`, `min_chunk`, and the
+///    parallelism limit, never on scheduling, so writes to per-index output
+///    slots yield bit-identical results at any thread count;
 ///  - `body` runs on the calling thread when the range is small or the
-///    limit is 1 (no thread spawn cost for tiny work);
+///    limit is 1 (no dispatch cost for tiny work);
+///  - nested calls (a body that itself calls ParallelFor) degrade to serial
+///    execution instead of deadlocking;
 ///  - exceptions are not expected from `body` (the library is
 ///    no-exceptions); a throwing body terminates.
+///
+/// Chunks are executed by a lazily-initialized persistent worker pool
+/// (common/thread_pool.h); no threads are spawned per call.
 ///
 /// Used by the measurement-matrix kernels (cache construction,
 /// correlation) where each output element depends only on its own index.
 void ParallelFor(size_t count, size_t min_chunk,
                  const std::function<void(size_t, size_t)>& body);
+
+/// The number of chunks ParallelFor would use for (count, min_chunk) under
+/// the current parallelism limit: min(limit, max(1, count / min_chunk)).
+/// Use it to size chunk-local accumulators for ParallelForChunks.
+size_t ParallelChunkCount(size_t count, size_t min_chunk);
+
+/// \brief ParallelFor variant for chunk-local reductions: the body also
+/// receives the chunk index, and the caller fixes `chunk_count` explicitly
+/// (typically ParallelChunkCount(...), read once so concurrent limit
+/// changes cannot desynchronize accumulator sizing from dispatch).
+///
+/// Chunk c covers [c * ceil(count / chunk_count),
+/// min(count, (c+1) * ceil(count / chunk_count))). Each chunk writes its
+/// own accumulator slot; reducing the slots afterwards in fixed chunk order
+/// is scheduling-independent, which is how the fused correlate/argmax
+/// kernel keeps bit-identical results at any thread count.
+void ParallelForChunks(
+    size_t count, size_t chunk_count,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body);
 
 }  // namespace csod
 

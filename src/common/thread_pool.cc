@@ -1,0 +1,125 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace csod {
+
+namespace {
+// Set for the lifetime of a worker thread; lets nested ParallelFor calls
+// (a chunk body that itself parallelizes) degrade to serial execution
+// instead of deadlocking on dispatch_mu_.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+uint64_t ThreadPool::jobs_dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_dispatched_;
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t target) {
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::ExecuteChunks(Job* job) {
+  for (;;) {
+    const size_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->chunk_count) break;
+    const size_t begin = c * job->chunk_size;
+    const size_t end = std::min(job->count, begin + job->chunk_size);
+    if (begin < end) job->fn(job->ctx, c, begin, end);
+    // Release so the dispatcher's acquire load of `done` sees the chunk's
+    // output writes; the last chunk wakes the dispatcher.
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->chunk_count) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  std::shared_ptr<Job> last;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || job_ != last; });
+    if (shutdown_) return;
+    last = job_;  // Snapshot under the lock: always a consistent job.
+    lock.unlock();
+    ExecuteChunks(last.get());
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunChunked(ChunkFn fn, void* ctx, size_t count,
+                            size_t chunk_count, size_t chunk_size) {
+  if (count == 0 || chunk_count == 0) return;
+  auto run_serial = [&] {
+    for (size_t c = 0; c < chunk_count; ++c) {
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(count, begin + chunk_size);
+      if (begin < end) fn(ctx, c, begin, end);
+    }
+  };
+  // Nested call from a worker, or the pool already running another job:
+  // execute serially in chunk order. try_lock keeps concurrent dispatchers
+  // from blocking on each other (and a body that re-enters ParallelFor on
+  // the dispatching thread from deadlocking).
+  if (chunk_count <= 1 || InWorker() || !dispatch_mu_.try_lock()) {
+    run_serial();
+    return;
+  }
+  std::lock_guard<std::mutex> dispatch_guard(dispatch_mu_, std::adopt_lock);
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->ctx = ctx;
+  job->count = count;
+  job->chunk_count = chunk_count;
+  job->chunk_size = chunk_size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      run_serial();
+      return;
+    }
+    // The dispatcher executes chunks too, so chunk_count - 1 workers
+    // suffice; the pool keeps the high-water mark across limit changes.
+    EnsureWorkersLocked(chunk_count - 1);
+    job_ = job;
+    ++jobs_dispatched_;
+  }
+  work_cv_.notify_all();
+
+  ExecuteChunks(job.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) >= job->chunk_count;
+  });
+}
+
+}  // namespace csod

@@ -1,0 +1,98 @@
+#ifndef CSOD_COMMON_THREAD_POOL_H_
+#define CSOD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csod {
+
+/// \brief Lazily-initialized persistent worker pool behind ParallelFor.
+///
+/// The seed implementation spawned and joined fresh `std::thread`s on every
+/// ParallelFor call; one BOMP recovery performs thousands of correlate calls,
+/// so the spawn/join cost dominated small-M recoveries. This pool spawns
+/// workers once (high-water mark of the requested chunk counts) and parks
+/// them on a condition variable between jobs, so a dispatch costs one
+/// notify_all plus wakeups.
+///
+/// Determinism contract: the pool never decides chunk *boundaries* — callers
+/// pass a fixed (count, chunk_count, chunk_size) geometry and the pool only
+/// decides which thread executes which chunk. Kernels that write per-index
+/// outputs or reduce chunk-local accumulators in fixed chunk order therefore
+/// produce bit-identical results at any thread count and under any
+/// scheduling.
+///
+/// Jobs are tracked as shared_ptr snapshots: a worker that wakes late for an
+/// already-finished job operates on that job's own (exhausted) chunk counter
+/// and can never steal chunks from a newer job.
+class ThreadPool {
+ public:
+  /// Chunk body: fn(ctx, chunk, begin, end) over [begin, end).
+  using ChunkFn = void (*)(void* ctx, size_t chunk, size_t begin, size_t end);
+
+  /// The process-wide pool used by ParallelFor.
+  static ThreadPool& Global();
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `fn(ctx, c, c * chunk_size, min(count, (c+1) * chunk_size))` for
+  /// every chunk c in [0, chunk_count). The calling thread participates in
+  /// chunk execution and the call returns only when every chunk has
+  /// completed. Falls back to serial in-order execution on the calling
+  /// thread when the pool is busy with another job, shutting down, or the
+  /// caller is itself a pool worker (nested parallelism) — the results are
+  /// identical either way because the chunk geometry is fixed by the caller.
+  void RunChunked(ChunkFn fn, void* ctx, size_t count, size_t chunk_count,
+                  size_t chunk_size);
+
+  /// True when the current thread is one of this process's pool workers.
+  static bool InWorker();
+
+  /// Number of persistent workers spawned so far (observability for tests
+  /// and the ParallelFor-overhead benchmark; monotone non-decreasing).
+  size_t worker_count() const;
+
+  /// Number of jobs handed to the pool (serial fallbacks not counted).
+  uint64_t jobs_dispatched() const;
+
+ private:
+  struct Job {
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    size_t count = 0;
+    size_t chunk_count = 0;
+    size_t chunk_size = 0;
+    /// Next chunk index to claim (fetch_add work stealing).
+    std::atomic<size_t> next{0};
+    /// Chunks fully executed; the job is complete at == chunk_count.
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until its counter is exhausted.
+  void ExecuteChunks(Job* job);
+  /// Spawns workers until worker_count() >= target. Requires mu_ held.
+  void EnsureWorkersLocked(size_t target);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers park here between jobs.
+  std::condition_variable done_cv_;  // Dispatchers wait for job completion.
+  std::mutex dispatch_mu_;           // At most one pool job at a time.
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;  // Latest dispatched job (workers snapshot it).
+  uint64_t jobs_dispatched_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_THREAD_POOL_H_

@@ -75,6 +75,7 @@ Result<BasisPursuitResult> RunBasisPursuit(
   BasisPursuitResult result;
   std::vector<double> x(n, 0.0);
   std::vector<double> momentum = x;  // FISTA extrapolation point.
+  std::vector<double> residual;      // Reused across iterations.
   double t_prev = 1.0;
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
@@ -82,7 +83,7 @@ Result<BasisPursuitResult> RunBasisPursuit(
     // Φᵀ(Φ z − y).
     CSOD_ASSIGN_OR_RETURN(std::vector<double> fitted,
                           dictionary.MultiplyDense(momentum));
-    std::vector<double> residual = la::Subtract(fitted, y);
+    la::SubtractInto(fitted, y, &residual);
     CSOD_ASSIGN_OR_RETURN(std::vector<double> grad,
                           dictionary.Correlate(residual));
 

@@ -112,10 +112,12 @@ Result<BompResult> RecoverWithKnownMode(const MeasurementMatrix& matrix,
     return Status::InvalidArgument(
         "RecoverWithKnownMode: max_iterations must be > 0");
   }
-  // y' = y - b * Φ0 * 1 = y - b * √N * φ0.
+  // y' = y - b * Φ0 * 1 = y - b * √N * φ0. The memoized bias column makes
+  // repeated known-mode recoveries over one matrix skip the O(M·N) column
+  // sum after the first call.
   std::vector<double> shifted = y;
   if (known_mode != 0.0) {
-    std::vector<double> bias = matrix.BiasColumn();
+    const std::vector<double>& bias = matrix.CachedBiasColumn();
     const double scale =
         known_mode * std::sqrt(static_cast<double>(matrix.n()));
     la::Axpy(-scale, bias, &shifted);

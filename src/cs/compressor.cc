@@ -2,7 +2,14 @@
 
 #include <string>
 
+#include "common/parallel.h"
+
 namespace csod::cs {
+
+namespace {
+// Below this M the ParallelFor dispatch costs more than the adds it saves.
+constexpr size_t kMinEntriesPerChunk = 4096;
+}  // namespace
 
 std::vector<double> SparseSlice::ToDense(size_t n) const {
   std::vector<double> x(n, 0.0);
@@ -29,15 +36,22 @@ Result<std::vector<double>> Compressor::AggregateMeasurements(
     return Status::InvalidArgument("AggregateMeasurements: no measurements");
   }
   const size_t m = measurements.front().size();
-  std::vector<double> y(m, 0.0);
   for (const auto& yl : measurements) {
     if (yl.size() != m) {
       return Status::InvalidArgument(
           "AggregateMeasurements: inconsistent measurement sizes (" +
           std::to_string(yl.size()) + " vs " + std::to_string(m) + ")");
     }
-    for (size_t i = 0; i < m; ++i) y[i] += yl[i];
   }
+  // Per-index sums: entry i only ever touches index i of every measurement,
+  // and the inner accumulation order (measurement 0, 1, ...) is fixed, so
+  // the result is bit-identical at any parallelism limit.
+  std::vector<double> y(m, 0.0);
+  ParallelFor(m, kMinEntriesPerChunk, [&](size_t begin, size_t end) {
+    for (const auto& yl : measurements) {
+      for (size_t i = begin; i < end; ++i) y[i] += yl[i];
+    }
+  });
   return y;
 }
 

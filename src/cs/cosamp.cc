@@ -73,6 +73,9 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
   std::vector<size_t> support;
   std::vector<double> coefficients;
   std::vector<double> residual = y;
+  // Scratch reused across iterations for the residual update.
+  std::vector<double> fitted(m);
+  std::vector<double> atom(m);
   double prev_residual_norm = y_norm;
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
@@ -100,14 +103,13 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
                           SolveOnSupport(dictionary, new_support, y));
 
     // 4. Update residual.
-    std::vector<double> fitted(m, 0.0);
-    std::vector<double> atom(m);
+    fitted.assign(m, 0.0);
     for (size_t i = 0; i < new_support.size(); ++i) {
       if (new_coeffs[i] == 0.0) continue;
       dictionary.FillAtom(new_support[i], atom.data());
       la::Axpy(new_coeffs[i], atom, &fitted);
     }
-    residual = la::Subtract(y, fitted);
+    la::SubtractInto(y, fitted, &residual);
     const double residual_norm = la::Norm2(residual);
 
     support = std::move(new_support);

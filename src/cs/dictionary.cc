@@ -1,8 +1,33 @@
 #include "cs/dictionary.h"
 
+#include <cmath>
+#include <string>
+
 #include "la/vector_ops.h"
 
 namespace csod::cs {
+
+Result<CorrelateArgmaxResult> Dictionary::CorrelateArgmax(
+    const std::vector<double>& r,
+    const std::vector<bool>& selected_mask) const {
+  if (selected_mask.size() != num_atoms()) {
+    return Status::InvalidArgument(
+        "CorrelateArgmax: mask size " + std::to_string(selected_mask.size()) +
+        " != num_atoms " + std::to_string(num_atoms()));
+  }
+  CSOD_ASSIGN_OR_RETURN(std::vector<double> correlations, Correlate(r));
+  CorrelateArgmaxResult best;
+  for (size_t j = 0; j < correlations.size(); ++j) {
+    if (selected_mask[j]) continue;
+    const double a = std::fabs(correlations[j]);
+    if (a > best.abs_correlation) {
+      best.index = j;
+      best.correlation = correlations[j];
+      best.abs_correlation = a;
+    }
+  }
+  return best;
+}
 
 void ExtendedDictionary::FillAtom(size_t j, double* out) const {
   if (j == 0) {
@@ -14,11 +39,40 @@ void ExtendedDictionary::FillAtom(size_t j, double* out) const {
 
 Result<std::vector<double>> ExtendedDictionary::Correlate(
     const std::vector<double>& r) const {
-  CSOD_ASSIGN_OR_RETURN(std::vector<double> base, matrix_->CorrelateAll(r));
-  std::vector<double> out(base.size() + 1);
+  std::vector<double> out(matrix_->n() + 1);
+  // Matrix correlations land directly in out[1..N]; no shift-by-one copy.
+  CSOD_RETURN_NOT_OK(matrix_->CorrelateAllInto(r, out.data() + 1));
   out[0] = la::Dot(bias_column_, r);
-  for (size_t j = 0; j < base.size(); ++j) out[j + 1] = base[j];
   return out;
+}
+
+Result<CorrelateArgmaxResult> ExtendedDictionary::CorrelateArgmax(
+    const std::vector<double>& r,
+    const std::vector<bool>& selected_mask) const {
+  if (selected_mask.size() != num_atoms()) {
+    return Status::InvalidArgument(
+        "CorrelateArgmax: mask size " + std::to_string(selected_mask.size()) +
+        " != num_atoms " + std::to_string(num_atoms()));
+  }
+  CorrelateArgmaxResult best;
+  if (!selected_mask[0]) {
+    best.index = 0;
+    best.correlation = la::Dot(bias_column_, r);
+    best.abs_correlation = std::fabs(best.correlation);
+  }
+  // Atom j+1 is matrix column j; the mask is passed with offset 1 instead
+  // of being re-indexed. Strict > keeps the bias atom (index 0) on ties,
+  // matching a lowest-index-first scan over the extended dictionary.
+  CSOD_ASSIGN_OR_RETURN(CorrelateArgmaxResult rest,
+                        matrix_->CorrelateArgmax(r, &selected_mask,
+                                                 /*skip_offset=*/1));
+  if (rest.index != CorrelateArgmaxResult::kNoIndex &&
+      rest.abs_correlation > best.abs_correlation) {
+    best.index = rest.index + 1;
+    best.correlation = rest.correlation;
+    best.abs_correlation = rest.abs_correlation;
+  }
+  return best;
 }
 
 Result<std::vector<double>> ExtendedDictionary::MultiplyDense(

@@ -34,6 +34,19 @@ class Dictionary {
   virtual Result<std::vector<double>> Correlate(
       const std::vector<double>& r) const = 0;
 
+  /// Fused correlate+argmax (OMP statement 4): the atom j maximizing
+  /// |<atom_j, r>| over all j with !selected_mask[j], ties toward the lowest
+  /// j; index == CorrelateArgmaxResult::kNoIndex when every atom is masked.
+  /// selected_mask.size() must equal num_atoms().
+  ///
+  /// The default implementation correlates all atoms and scans (any
+  /// Dictionary stays correct); MatrixDictionary and ExtendedDictionary
+  /// override it with the measurement matrix's fused kernel, which never
+  /// materializes, copies, or rescans the N-vector of correlations.
+  virtual Result<CorrelateArgmaxResult> CorrelateArgmax(
+      const std::vector<double>& r,
+      const std::vector<bool>& selected_mask) const;
+
   /// y = Σ_j z_j * atom_j for a dense coefficient vector z of size
   /// num_atoms() (the forward operator, needed by gradient-based
   /// recoveries like FISTA).
@@ -64,6 +77,11 @@ class MatrixDictionary final : public Dictionary {
       const std::vector<double>& r) const override {
     return matrix_->CorrelateAll(r);
   }
+  Result<CorrelateArgmaxResult> CorrelateArgmax(
+      const std::vector<double>& r,
+      const std::vector<bool>& selected_mask) const override {
+    return matrix_->CorrelateArgmax(r, &selected_mask);
+  }
   Result<std::vector<double>> MultiplyDense(
       const std::vector<double>& z) const override {
     return matrix_->Multiply(z);
@@ -77,11 +95,13 @@ class MatrixDictionary final : public Dictionary {
 /// `φ0 = (1/√N) Σ_i φ_i` (Equation 2/3 in the paper).
 ///
 /// Atom 0 is the bias column; atom j (j >= 1) is column j-1 of Φ0. The
-/// bias column is materialized once at construction (one pass over Φ0).
+/// bias column is the matrix's memoized CachedBiasColumn(), so repeated
+/// dictionary constructions over the same matrix (one per recovery call)
+/// share a single O(M·N) column-sum pass.
 class ExtendedDictionary final : public Dictionary {
  public:
   explicit ExtendedDictionary(const MeasurementMatrix* matrix)
-      : matrix_(matrix), bias_column_(matrix->BiasColumn()) {}
+      : matrix_(matrix), bias_column_(matrix->CachedBiasColumn()) {}
 
   size_t num_atoms() const override { return matrix_->n() + 1; }
   size_t atom_length() const override { return matrix_->m(); }
@@ -89,6 +109,9 @@ class ExtendedDictionary final : public Dictionary {
   void FillAtom(size_t j, double* out) const override;
   Result<std::vector<double>> Correlate(
       const std::vector<double>& r) const override;
+  Result<CorrelateArgmaxResult> CorrelateArgmax(
+      const std::vector<double>& r,
+      const std::vector<bool>& selected_mask) const override;
   Result<std::vector<double>> MultiplyDense(
       const std::vector<double>& z) const override;
 
@@ -97,7 +120,7 @@ class ExtendedDictionary final : public Dictionary {
 
  private:
   const MeasurementMatrix* matrix_;
-  std::vector<double> bias_column_;
+  const std::vector<double>& bias_column_;
 };
 
 }  // namespace csod::cs

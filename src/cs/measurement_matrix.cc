@@ -1,5 +1,6 @@
 #include "cs/measurement_matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -11,6 +12,54 @@ namespace {
 // Minimum per-thread column count before ParallelFor spawns workers — the
 // kernels below cost >= M flops per column, so tiny jobs stay serial.
 constexpr size_t kMinColumnsPerChunk = 256;
+
+// Fixed block geometry for the reduction kernels (Multiply, MultiplySparse,
+// BiasColumn). Each block accumulates a private partial vector; partials are
+// combined serially in block order. The block size must NOT depend on the
+// parallelism limit: that keeps the floating-point summation tree — and so
+// the result — bit-identical at any thread count.
+constexpr size_t kReductionBlockColumns = 2048;
+constexpr size_t kReductionBlockNnz = 512;
+
+// Register-blocked correlation over four cached column streams: four
+// independent accumulators amortize one pass over r across four columns.
+// Each column's accumulation order over i is unchanged versus the scalar
+// loop, so results are bit-identical to the unblocked kernel.
+inline void DotFourColumns(const double* c0, const double* c1,
+                           const double* c2, const double* c3,
+                           const double* r, size_t m, double out[4]) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double ri = r[i];
+    a0 += c0[i] * ri;
+    a1 += c1[i] * ri;
+    a2 += c2[i] * ri;
+    a3 += c3[i] * ri;
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+inline double DotColumn(const double* col, const double* r, size_t m) {
+  double acc = 0.0;
+  for (size_t i = 0; i < m; ++i) acc += col[i] * r[i];
+  return acc;
+}
+
+// Folds a candidate (index, value) into the running chunk-local argmax.
+// Strict > with ascending candidate order == lowest index wins on ties.
+inline void FoldArgmax(size_t index, double value,
+                       CorrelateArgmaxResult* best) {
+  const double abs_value = std::fabs(value);
+  if (abs_value > best->abs_correlation) {
+    best->index = index;
+    best->correlation = value;
+    best->abs_correlation = abs_value;
+  }
+}
+
 }  // namespace
 
 MeasurementMatrix::MeasurementMatrix(size_t m, size_t n, uint64_t seed,
@@ -57,17 +106,44 @@ Result<std::vector<double>> MeasurementMatrix::Multiply(
                                    std::to_string(n_));
   }
   std::vector<double> y(m_, 0.0);
-  std::vector<double> col(m_);
-  for (size_t j = 0; j < n_; ++j) {
-    const double xj = x[j];
-    if (xj == 0.0) continue;
-    if (!cache_.empty()) {
-      const double* src = cache_.data() + j * m_;
-      for (size_t i = 0; i < m_; ++i) y[i] += src[i] * xj;
-    } else {
-      FillColumn(j, col.data());
-      for (size_t i = 0; i < m_; ++i) y[i] += col[i] * xj;
+  // Accumulates columns [col_begin, col_end) into acc (size M). The scratch
+  // column is only needed when the matrix is implicit.
+  auto accumulate = [&](size_t col_begin, size_t col_end, double* acc) {
+    std::vector<double> col;
+    if (cache_.empty()) col.resize(m_);
+    for (size_t j = col_begin; j < col_end; ++j) {
+      const double xj = x[j];
+      if (xj == 0.0) continue;
+      if (!cache_.empty()) {
+        const double* src = cache_.data() + j * m_;
+        for (size_t i = 0; i < m_; ++i) acc[i] += src[i] * xj;
+      } else {
+        FillColumn(j, col.data());
+        for (size_t i = 0; i < m_; ++i) acc[i] += col[i] * xj;
+      }
     }
+  };
+
+  const size_t num_blocks =
+      (n_ + kReductionBlockColumns - 1) / kReductionBlockColumns;
+  if (num_blocks <= 1) {
+    accumulate(0, n_, y.data());
+    return y;
+  }
+  // Fixed-geometry blocked reduction: block b accumulates its private
+  // partial; partials are folded in block order below, independent of which
+  // thread computed them.
+  std::vector<double> partials(num_blocks * m_, 0.0);
+  ParallelFor(num_blocks, 1, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      const size_t col_begin = b * kReductionBlockColumns;
+      const size_t col_end = std::min(n_, col_begin + kReductionBlockColumns);
+      accumulate(col_begin, col_end, partials.data() + b * m_);
+    }
+  });
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const double* part = partials.data() + b * m_;
+    for (size_t i = 0; i < m_; ++i) y[i] += part[i];
   }
   return y;
 }
@@ -79,42 +155,68 @@ Result<std::vector<double>> MeasurementMatrix::MultiplySparse(
     return Status::InvalidArgument(
         "MultiplySparse: indices/values size mismatch");
   }
-  std::vector<double> y(m_, 0.0);
-  std::vector<double> col(m_);
-  for (size_t k = 0; k < indices.size(); ++k) {
-    const size_t j = indices[k];
+  for (size_t j : indices) {
     if (j >= n_) {
       return Status::OutOfRange("MultiplySparse: index " + std::to_string(j) +
                                 " out of N " + std::to_string(n_));
     }
-    const double xj = values[k];
-    if (xj == 0.0) continue;
-    if (!cache_.empty()) {
-      const double* src = cache_.data() + j * m_;
-      for (size_t i = 0; i < m_; ++i) y[i] += src[i] * xj;
-    } else {
-      FillColumn(j, col.data());
-      for (size_t i = 0; i < m_; ++i) y[i] += col[i] * xj;
+  }
+  const size_t nnz = indices.size();
+  std::vector<double> y(m_, 0.0);
+  auto accumulate = [&](size_t k_begin, size_t k_end, double* acc) {
+    std::vector<double> col;
+    if (cache_.empty()) col.resize(m_);
+    for (size_t k = k_begin; k < k_end; ++k) {
+      const double xj = values[k];
+      if (xj == 0.0) continue;
+      if (!cache_.empty()) {
+        const double* src = cache_.data() + indices[k] * m_;
+        for (size_t i = 0; i < m_; ++i) acc[i] += src[i] * xj;
+      } else {
+        FillColumn(indices[k], col.data());
+        for (size_t i = 0; i < m_; ++i) acc[i] += col[i] * xj;
+      }
     }
+  };
+
+  const size_t num_blocks = (nnz + kReductionBlockNnz - 1) / kReductionBlockNnz;
+  if (num_blocks <= 1) {
+    accumulate(0, nnz, y.data());
+    return y;
+  }
+  std::vector<double> partials(num_blocks * m_, 0.0);
+  ParallelFor(num_blocks, 1, [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      const size_t k_begin = b * kReductionBlockNnz;
+      const size_t k_end = std::min(nnz, k_begin + kReductionBlockNnz);
+      accumulate(k_begin, k_end, partials.data() + b * m_);
+    }
+  });
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const double* part = partials.data() + b * m_;
+    for (size_t i = 0; i < m_; ++i) y[i] += part[i];
   }
   return y;
 }
 
-Result<std::vector<double>> MeasurementMatrix::CorrelateAll(
-    const std::vector<double>& r) const {
+Status MeasurementMatrix::CorrelateAllInto(const std::vector<double>& r,
+                                           double* out) const {
   if (r.size() != m_) {
-    return Status::InvalidArgument("CorrelateAll: r size " +
+    return Status::InvalidArgument("CorrelateAllInto: r size " +
                                    std::to_string(r.size()) + " != M " +
                                    std::to_string(m_));
   }
-  std::vector<double> c(n_, 0.0);
+  const double* rp = r.data();
   if (!cache_.empty()) {
     ParallelFor(n_, kMinColumnsPerChunk, [&](size_t begin, size_t end) {
-      for (size_t j = begin; j < end; ++j) {
-        const double* src = cache_.data() + j * m_;
-        double acc = 0.0;
-        for (size_t i = 0; i < m_; ++i) acc += src[i] * r[i];
-        c[j] = acc;
+      size_t j = begin;
+      for (; j + 4 <= end; j += 4) {
+        const double* base = cache_.data() + j * m_;
+        DotFourColumns(base, base + m_, base + 2 * m_, base + 3 * m_, rp, m_,
+                       out + j);
+      }
+      for (; j < end; ++j) {
+        out[j] = DotColumn(cache_.data() + j * m_, rp, m_);
       }
     });
   } else {
@@ -123,25 +225,140 @@ Result<std::vector<double>> MeasurementMatrix::CorrelateAll(
       for (size_t j = begin; j < end; ++j) {
         CounterGaussian gen(HashCombine(seed_, j));
         gen.Fill(m_, col.data());
-        double acc = 0.0;
-        for (size_t i = 0; i < m_; ++i) acc += col[i] * r[i];
-        c[j] = acc * inv_sqrt_m_;
+        out[j] = DotColumn(col.data(), rp, m_) * inv_sqrt_m_;
       }
     });
   }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MeasurementMatrix::CorrelateAll(
+    const std::vector<double>& r) const {
+  std::vector<double> c(n_, 0.0);
+  CSOD_RETURN_NOT_OK(CorrelateAllInto(r, c.data()));
   return c;
+}
+
+Result<CorrelateArgmaxResult> MeasurementMatrix::CorrelateArgmax(
+    const std::vector<double>& r, const std::vector<bool>* skip,
+    size_t skip_offset) const {
+  if (r.size() != m_) {
+    return Status::InvalidArgument("CorrelateArgmax: r size " +
+                                   std::to_string(r.size()) + " != M " +
+                                   std::to_string(m_));
+  }
+  if (skip != nullptr && skip->size() < n_ + skip_offset) {
+    return Status::InvalidArgument("CorrelateArgmax: skip mask size " +
+                                   std::to_string(skip->size()) +
+                                   " < N + offset " +
+                                   std::to_string(n_ + skip_offset));
+  }
+  const double* rp = r.data();
+  // Chunk-local argmax over [begin, end); candidates are visited in
+  // ascending index order so ties resolve to the lowest index.
+  auto local_argmax = [&](size_t begin, size_t end) {
+    CorrelateArgmaxResult best;
+    if (!cache_.empty()) {
+      // Batch unmasked columns four at a time; batch order is ascending, so
+      // folding the four dots in order preserves the tie-break.
+      size_t batch[4];
+      size_t filled = 0;
+      double dots[4];
+      auto flush = [&] {
+        if (filled == 4) {
+          DotFourColumns(cache_.data() + batch[0] * m_,
+                         cache_.data() + batch[1] * m_,
+                         cache_.data() + batch[2] * m_,
+                         cache_.data() + batch[3] * m_, rp, m_, dots);
+          for (size_t k = 0; k < 4; ++k) FoldArgmax(batch[k], dots[k], &best);
+        } else {
+          for (size_t k = 0; k < filled; ++k) {
+            FoldArgmax(batch[k], DotColumn(cache_.data() + batch[k] * m_, rp, m_),
+                       &best);
+          }
+        }
+        filled = 0;
+      };
+      for (size_t j = begin; j < end; ++j) {
+        if (skip != nullptr && (*skip)[j + skip_offset]) continue;
+        batch[filled++] = j;
+        if (filled == 4) flush();
+      }
+      flush();
+    } else {
+      std::vector<double> col(m_);
+      for (size_t j = begin; j < end; ++j) {
+        if (skip != nullptr && (*skip)[j + skip_offset]) continue;
+        CounterGaussian gen(HashCombine(seed_, j));
+        gen.Fill(m_, col.data());
+        FoldArgmax(j, DotColumn(col.data(), rp, m_) * inv_sqrt_m_, &best);
+      }
+    }
+    return best;
+  };
+
+  const size_t chunk_count = ParallelChunkCount(n_, kMinColumnsPerChunk);
+  if (chunk_count <= 1) return local_argmax(0, n_);
+
+  std::vector<CorrelateArgmaxResult> locals(chunk_count);
+  ParallelForChunks(n_, chunk_count,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      locals[chunk] = local_argmax(begin, end);
+                    });
+  // Fixed-order reduction over chunk-local winners. Chunks cover ascending
+  // index ranges and FoldArgmax keeps strict >, so the lowest index still
+  // wins global ties regardless of how many chunks the limit produced.
+  CorrelateArgmaxResult best;
+  for (const CorrelateArgmaxResult& local : locals) {
+    if (local.index == CorrelateArgmaxResult::kNoIndex) continue;
+    if (local.abs_correlation > best.abs_correlation) best = local;
+  }
+  return best;
 }
 
 std::vector<double> MeasurementMatrix::BiasColumn() const {
   std::vector<double> phi0(m_, 0.0);
-  std::vector<double> col(m_);
-  for (size_t j = 0; j < n_; ++j) {
-    FillColumn(j, col.data());
-    for (size_t i = 0; i < m_; ++i) phi0[i] += col[i];
+  auto accumulate = [&](size_t col_begin, size_t col_end, double* acc) {
+    std::vector<double> col;
+    if (cache_.empty()) col.resize(m_);
+    for (size_t j = col_begin; j < col_end; ++j) {
+      if (!cache_.empty()) {
+        const double* src = cache_.data() + j * m_;
+        for (size_t i = 0; i < m_; ++i) acc[i] += src[i];
+      } else {
+        FillColumn(j, col.data());
+        for (size_t i = 0; i < m_; ++i) acc[i] += col[i];
+      }
+    }
+  };
+
+  const size_t num_blocks =
+      (n_ + kReductionBlockColumns - 1) / kReductionBlockColumns;
+  if (num_blocks <= 1) {
+    accumulate(0, n_, phi0.data());
+  } else {
+    std::vector<double> partials(num_blocks * m_, 0.0);
+    ParallelFor(num_blocks, 1, [&](size_t begin, size_t end) {
+      for (size_t b = begin; b < end; ++b) {
+        const size_t col_begin = b * kReductionBlockColumns;
+        const size_t col_end =
+            std::min(n_, col_begin + kReductionBlockColumns);
+        accumulate(col_begin, col_end, partials.data() + b * m_);
+      }
+    });
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const double* part = partials.data() + b * m_;
+      for (size_t i = 0; i < m_; ++i) phi0[i] += part[i];
+    }
   }
   const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
   for (double& v : phi0) v *= scale;
   return phi0;
+}
+
+const std::vector<double>& MeasurementMatrix::CachedBiasColumn() const {
+  std::call_once(bias_once_, [this] { bias_column_ = BiasColumn(); });
+  return bias_column_;
 }
 
 }  // namespace csod::cs

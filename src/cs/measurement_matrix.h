@@ -3,12 +3,29 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 
 namespace csod::cs {
+
+/// Result of the fused correlate+argmax kernel (OMP statement 4): the
+/// unmasked column with the largest |<column, r>|, ties broken toward the
+/// lowest index.
+struct CorrelateArgmaxResult {
+  /// Sentinel index meaning "every column was masked out".
+  static constexpr size_t kNoIndex = ~size_t{0};
+
+  /// Winning column index (an *atom* index when returned through the
+  /// Dictionary interface), or kNoIndex.
+  size_t index = kNoIndex;
+  /// Signed correlation <column_index, r>.
+  double correlation = 0.0;
+  /// |correlation|; -1 when index == kNoIndex so any real column wins.
+  double abs_correlation = -1.0;
+};
 
 /// \brief The paper's random Gaussian measurement matrix
 /// `Φ0 (M x N, entries i.i.d. N(0, 1/M))`, generated deterministically
@@ -24,6 +41,14 @@ namespace csod::cs {
 /// An optional dense column-major cache trades memory for speed; when
 /// `M * N * 8` exceeds the cache budget the matrix stays implicit and
 /// columns are regenerated on the fly.
+///
+/// Determinism: every kernel below returns bit-identical results at any
+/// parallelism limit. Per-index kernels (cache fill, CorrelateAll) write
+/// disjoint slots; reductions (Multiply, MultiplySparse, BiasColumn) use a
+/// fixed block geometry independent of the thread count with partials
+/// combined in block order; CorrelateArgmax reduces chunk-local winners in
+/// chunk order with lowest-index tie-breaking, which composes to the global
+/// lowest-index argmax under any chunking.
 class MeasurementMatrix {
  public:
   /// Creates the M x N matrix for `seed`. A dense cache is materialized iff
@@ -61,9 +86,30 @@ class MeasurementMatrix {
   /// c = Φ0^T * r (size N), the OMP correlation kernel.
   Result<std::vector<double>> CorrelateAll(const std::vector<double>& r) const;
 
+  /// Writes Φ0^T * r into out[0..N) without allocating; the zero-copy form
+  /// ExtendedDictionary uses to fill out[1..N] directly.
+  Status CorrelateAllInto(const std::vector<double>& r, double* out) const;
+
+  /// Fused correlate+argmax: the column j maximizing |<φ_j, r>| over all j
+  /// with `skip == nullptr || !(*skip)[j + skip_offset]`, ties toward the
+  /// lowest j. Never materializes the N-vector of correlations — chunk-local
+  /// winners are reduced in fixed chunk order, so the result is bit-identical
+  /// at any thread count. `skip_offset` lets ExtendedDictionary pass its
+  /// atom-indexed mask (atom j+1 == column j) without copying it.
+  Result<CorrelateArgmaxResult> CorrelateArgmax(
+      const std::vector<double>& r, const std::vector<bool>* skip = nullptr,
+      size_t skip_offset = 0) const;
+
   /// Sum of all columns scaled by 1/sqrt(N): the BOMP bias column
-  /// `φ0 = (1/√N) Σ_i φ_i` (Equation 3).
+  /// `φ0 = (1/√N) Σ_i φ_i` (Equation 3). Recomputes on every call; prefer
+  /// CachedBiasColumn() on hot paths.
   std::vector<double> BiasColumn() const;
+
+  /// BiasColumn() computed once on first use and memoized (thread-safe).
+  /// Bit-identical to a fresh BiasColumn() call: both run the same fixed
+  /// block reduction. Saves an O(M·N) pass per ExtendedDictionary
+  /// construction / known-mode recovery.
+  const std::vector<double>& CachedBiasColumn() const;
 
   static constexpr size_t kDefaultCacheBudgetBytes = size_t{512} << 20;
 
@@ -78,6 +124,9 @@ class MeasurementMatrix {
   double inv_sqrt_m_;
   // Column-major cache (cache_[col * m_ + row]) or empty when implicit.
   std::vector<double> cache_;
+  // Lazily memoized bias column (CachedBiasColumn).
+  mutable std::once_flag bias_once_;
+  mutable std::vector<double> bias_column_;
 };
 
 }  // namespace csod::cs

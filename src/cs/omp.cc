@@ -34,24 +34,25 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
   std::vector<double> residual = y;
   std::vector<bool> selected_mask(num_atoms, false);
   std::vector<double> atom(m);
+  // Buffers reused across iterations: the projection update used to
+  // reallocate an M-vector twice per iteration (qr.Project return +
+  // la::Subtract return); with the in-place variants the loop allocates
+  // nothing of size M or N.
+  std::vector<double> projection(m);
+  std::vector<double> qty_scratch;
   double prev_residual_norm = y_norm;
 
   for (size_t iter = 0; iter < iteration_cap; ++iter) {
     // Statement 4 of Algorithm 2: argmax over unselected atoms of
-    // |<atom_j, r>|.
-    CSOD_ASSIGN_OR_RETURN(std::vector<double> correlations,
-                          dictionary.Correlate(residual));
-    size_t best = num_atoms;
-    double best_abs = -1.0;
-    for (size_t j = 0; j < num_atoms; ++j) {
-      if (selected_mask[j]) continue;
-      const double a = std::fabs(correlations[j]);
-      if (a > best_abs) {
-        best_abs = a;
-        best = j;
-      }
+    // |<atom_j, r>| — fused into the dictionary's correlate pass, so no
+    // N-vector of correlations is materialized, copied, or rescanned.
+    CSOD_ASSIGN_OR_RETURN(CorrelateArgmaxResult pick,
+                          dictionary.CorrelateArgmax(residual, selected_mask));
+    if (pick.index == CorrelateArgmaxResult::kNoIndex ||
+        pick.abs_correlation == 0.0) {
+      break;
     }
-    if (best == num_atoms || best_abs == 0.0) break;
+    const size_t best = pick.index;
 
     dictionary.FillAtom(best, atom.data());
     CSOD_ASSIGN_OR_RETURN(double ortho_norm, qr.AppendColumn(atom));
@@ -65,8 +66,8 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
     result.selected.push_back(best);
 
     // Statement 6: r <- y - proj(y, Φs).
-    CSOD_ASSIGN_OR_RETURN(std::vector<double> projection, qr.Project(y));
-    residual = la::Subtract(y, projection);
+    CSOD_RETURN_NOT_OK(qr.ProjectInto(y, &qty_scratch, &projection));
+    la::SubtractInto(y, projection, &residual);
     const double residual_norm = la::Norm2(residual);
     result.residual_norms.push_back(residual_norm);
     result.iterations = iter + 1;

@@ -41,8 +41,20 @@ class IncrementalQr {
   Result<std::vector<double>> ApplyQTransposed(
       const std::vector<double>& y) const;
 
+  /// `Q^T y` written into `out` (resized to size()) without allocating.
+  Status ApplyQTransposedInto(const std::vector<double>& y,
+                              std::vector<double>* out) const;
+
   /// Projection of `y` onto the column space: `Q Q^T y` (size m).
   Result<std::vector<double>> Project(const std::vector<double>& y) const;
+
+  /// Project without allocating: `out` receives Q Q^T y (resized to m) and
+  /// `qty_scratch` receives Q^T y (resized to size()). The allocation-free
+  /// form the OMP iteration loop uses — it calls Project once per selected
+  /// atom with buffers reused across iterations.
+  Status ProjectInto(const std::vector<double>& y,
+                     std::vector<double>* qty_scratch,
+                     std::vector<double>* out) const;
 
   /// Least-squares solve: coefficients `z` (size r) minimizing
   /// `||A z - y||_2`, via `R z = Q^T y` back-substitution.

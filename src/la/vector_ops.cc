@@ -31,6 +31,12 @@ std::vector<double> Subtract(const std::vector<double>& a,
   return out;
 }
 
+void SubtractInto(const std::vector<double>& a, const std::vector<double>& b,
+                  std::vector<double>* out) {
+  out->resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] - b[i];
+}
+
 std::vector<double> Add(const std::vector<double>& a,
                         const std::vector<double>& b) {
   std::vector<double> out(a.size());

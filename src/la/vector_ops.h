@@ -28,6 +28,12 @@ void Scale(double alpha, std::vector<double>* x);
 std::vector<double> Subtract(const std::vector<double>& a,
                              const std::vector<double>& b);
 
+/// out = a - b without allocating (out is resized to a.size(); aliasing out
+/// with a or b is fine). The allocation-free form the OMP iteration loop
+/// uses for its residual update.
+void SubtractInto(const std::vector<double>& a, const std::vector<double>& b,
+                  std::vector<double>* out);
+
 /// Element-wise a + b.
 std::vector<double> Add(const std::vector<double>& a,
                         const std::vector<double>& b);

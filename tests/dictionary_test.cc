@@ -57,6 +57,80 @@ TEST(ExtendedDictionaryTest, CorrelatePrependsBiasCorrelation) {
   for (size_t j = 0; j < 12; ++j) EXPECT_EQ(c[j + 1], base[j]);
 }
 
+TEST(MatrixDictionaryTest, CorrelateArgmaxMatchesCorrelateScan) {
+  MeasurementMatrix matrix(6, 10, 3);
+  MatrixDictionary dict(&matrix);
+  Rng rng(17);
+  std::vector<double> r(6);
+  for (double& v : r) v = rng.NextGaussian();
+  std::vector<bool> mask(10, false);
+  for (size_t round = 0; round < 5; ++round) {
+    auto c = dict.Correlate(r).MoveValue();
+    size_t expected = CorrelateArgmaxResult::kNoIndex;
+    double best_abs = -1.0;
+    for (size_t j = 0; j < c.size(); ++j) {
+      if (mask[j]) continue;
+      if (std::fabs(c[j]) > best_abs) {
+        best_abs = std::fabs(c[j]);
+        expected = j;
+      }
+    }
+    auto pick = dict.CorrelateArgmax(r, mask).MoveValue();
+    EXPECT_EQ(pick.index, expected);
+    EXPECT_EQ(pick.abs_correlation, best_abs);  // Bitwise.
+    mask[pick.index] = true;
+  }
+}
+
+TEST(ExtendedDictionaryTest, CorrelateArgmaxMatchesCorrelateScan) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  Rng rng(23);
+  std::vector<double> r(8);
+  for (double& v : r) v = rng.NextGaussian();
+  // Peel atoms one at a time (the OMP access pattern) so the bias atom is
+  // exercised both unmasked and masked.
+  std::vector<bool> mask(13, false);
+  for (size_t round = 0; round < 6; ++round) {
+    auto c = dict.Correlate(r).MoveValue();
+    size_t expected = CorrelateArgmaxResult::kNoIndex;
+    double best_abs = -1.0;
+    for (size_t j = 0; j < c.size(); ++j) {
+      if (mask[j]) continue;
+      if (std::fabs(c[j]) > best_abs) {
+        best_abs = std::fabs(c[j]);
+        expected = j;
+      }
+    }
+    auto pick = dict.CorrelateArgmax(r, mask).MoveValue();
+    EXPECT_EQ(pick.index, expected) << "round " << round;
+    EXPECT_EQ(pick.abs_correlation, best_abs);  // Bitwise.
+    mask[pick.index] = true;
+  }
+}
+
+TEST(ExtendedDictionaryTest, CorrelateArgmaxZeroResidualPicksBias) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  // All 13 correlations tie at 0.0; the bias atom (index 0) must win.
+  const std::vector<double> zero(8, 0.0);
+  std::vector<bool> mask(13, false);
+  auto pick = dict.CorrelateArgmax(zero, mask).MoveValue();
+  EXPECT_EQ(pick.index, 0u);
+  EXPECT_EQ(pick.abs_correlation, 0.0);
+  // With the bias masked the tie falls to the first data atom.
+  mask[0] = true;
+  pick = dict.CorrelateArgmax(zero, mask).MoveValue();
+  EXPECT_EQ(pick.index, 1u);
+}
+
+TEST(ExtendedDictionaryTest, CorrelateArgmaxMaskSizeChecked) {
+  MeasurementMatrix matrix(8, 12, 5);
+  ExtendedDictionary dict(&matrix);
+  std::vector<double> r(8, 1.0);
+  EXPECT_FALSE(dict.CorrelateArgmax(r, std::vector<bool>(12, false)).ok());
+}
+
 TEST(ExtendedDictionaryTest, MultiplyDenseMatchesAtomSum) {
   MeasurementMatrix matrix(8, 12, 5);
   ExtendedDictionary dict(&matrix);

@@ -165,6 +165,94 @@ TEST(MeasurementMatrixTest, CorrelateImplicitMatchesCached) {
   EXPECT_NEAR(la::DistanceL2(a.Value(), b.Value()), 0.0, 1e-10);
 }
 
+// Reference implementation of the fused kernel: full correlate, then an
+// ascending strict-> scan (lowest index wins ties).
+CorrelateArgmaxResult ScanArgmax(const MeasurementMatrix& matrix,
+                                 const std::vector<double>& r,
+                                 const std::vector<bool>* skip) {
+  auto c = matrix.CorrelateAll(r).MoveValue();
+  CorrelateArgmaxResult out;
+  for (size_t j = 0; j < c.size(); ++j) {
+    if (skip != nullptr && (*skip)[j]) continue;
+    const double a = std::fabs(c[j]);
+    if (a > out.abs_correlation) {
+      out.abs_correlation = a;
+      out.correlation = c[j];
+      out.index = j;
+    }
+  }
+  return out;
+}
+
+TEST(MeasurementMatrixTest, CorrelateArgmaxMatchesScan) {
+  // n = 600 exercises the 4-wide register-blocked path plus remainder
+  // columns; masks carve unaligned holes into the 4-column batches.
+  for (const size_t budget : {size_t{1} << 24, size_t{0}}) {
+    MeasurementMatrix matrix(24, 600, 17, budget);
+    Rng rng(29);
+    std::vector<double> r(24);
+    for (double& v : r) v = rng.NextGaussian();
+
+    std::vector<bool> mask(600, false);
+    for (size_t round = 0; round < 8; ++round) {
+      const auto expected = ScanArgmax(matrix, r, &mask);
+      const auto got = matrix.CorrelateArgmax(r, &mask).MoveValue();
+      EXPECT_EQ(got.index, expected.index) << "budget=" << budget;
+      EXPECT_EQ(got.correlation, expected.correlation);  // Bitwise.
+      EXPECT_EQ(got.abs_correlation, expected.abs_correlation);
+      ASSERT_NE(got.index, CorrelateArgmaxResult::kNoIndex);
+      mask[got.index] = true;  // Mimic OMP: knock out the winner, repeat.
+    }
+
+    // No mask at all.
+    const auto no_mask = matrix.CorrelateArgmax(r).MoveValue();
+    const auto no_mask_expected = ScanArgmax(matrix, r, nullptr);
+    EXPECT_EQ(no_mask.index, no_mask_expected.index);
+    EXPECT_EQ(no_mask.abs_correlation, no_mask_expected.abs_correlation);
+  }
+}
+
+TEST(MeasurementMatrixTest, CorrelateArgmaxTieBreaksLowestIndex) {
+  MeasurementMatrix matrix(8, 40, 3);
+  // r = 0 makes every correlation exactly 0.0 — a 40-way tie. The lowest
+  // unmasked index must win.
+  const std::vector<double> zero(8, 0.0);
+  auto pick = matrix.CorrelateArgmax(zero).MoveValue();
+  EXPECT_EQ(pick.index, 0u);
+  EXPECT_EQ(pick.abs_correlation, 0.0);
+
+  std::vector<bool> mask(40, false);
+  mask[0] = mask[1] = mask[2] = true;
+  pick = matrix.CorrelateArgmax(zero, &mask).MoveValue();
+  EXPECT_EQ(pick.index, 3u);
+  EXPECT_EQ(pick.abs_correlation, 0.0);
+}
+
+TEST(MeasurementMatrixTest, CorrelateArgmaxAllMaskedReturnsNoIndex) {
+  MeasurementMatrix matrix(8, 20, 3);
+  std::vector<double> r(8, 1.0);
+  std::vector<bool> mask(20, true);
+  auto pick = matrix.CorrelateArgmax(r, &mask).MoveValue();
+  EXPECT_EQ(pick.index, CorrelateArgmaxResult::kNoIndex);
+}
+
+TEST(MeasurementMatrixTest, CorrelateArgmaxErrors) {
+  MeasurementMatrix matrix(8, 20, 3);
+  EXPECT_FALSE(matrix.CorrelateArgmax({1.0, 2.0}).ok());  // r size != M
+  std::vector<double> r(8, 1.0);
+  std::vector<bool> short_mask(20, false);
+  // With skip_offset = 1 the mask must cover n + 1 entries.
+  EXPECT_FALSE(matrix.CorrelateArgmax(r, &short_mask, 1).ok());
+}
+
+TEST(MeasurementMatrixTest, CachedBiasColumnMatchesFreshCompute) {
+  MeasurementMatrix matrix(16, 3000, 7);
+  const std::vector<double>& cached = matrix.CachedBiasColumn();
+  EXPECT_EQ(cached, matrix.BiasColumn());  // Bitwise.
+  // Memoized: the second call hands back the same vector.
+  EXPECT_EQ(&matrix.CachedBiasColumn(), &cached);
+}
+
 TEST(MeasurementMatrixTest, BiasColumnIsScaledColumnSum) {
   MeasurementMatrix matrix(6, 9, 21);
   const std::vector<double> phi0 = matrix.BiasColumn();

@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace csod {
+namespace {
+
+// Restores the global parallelism limit after each test.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetParallelismLimit(
+        std::max<size_t>(1, std::thread::hardware_concurrency()));
+  }
+};
+
+TEST_F(ThreadPoolTest, WorkersPersistAcrossJobs) {
+  SetParallelismLimit(4);
+  ThreadPool& pool = ThreadPool::Global();
+
+  const uint64_t jobs_before = pool.jobs_dispatched();
+  ParallelFor(4000, 1, [](size_t, size_t) {});
+  const uint64_t jobs_after_first = pool.jobs_dispatched();
+  EXPECT_GT(jobs_after_first, jobs_before);
+
+  const size_t workers_after_first = pool.worker_count();
+  EXPECT_GE(workers_after_first, 1u);
+
+  // A second job must reuse the parked workers, not spawn a fresh set.
+  ParallelFor(4000, 1, [](size_t, size_t) {});
+  EXPECT_EQ(pool.worker_count(), workers_after_first);
+  EXPECT_GT(pool.jobs_dispatched(), jobs_after_first);
+}
+
+TEST_F(ThreadPoolTest, GrowsToHigherChunkCount) {
+  SetParallelismLimit(2);
+  ParallelFor(2000, 1, [](size_t, size_t) {});
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t small = pool.worker_count();
+
+  SetParallelismLimit(6);
+  ParallelFor(6000, 1, [](size_t, size_t) {});
+  EXPECT_GE(pool.worker_count(), small);
+  // Shrinking the limit afterwards keeps the workers parked (harmless) but
+  // dispatches fewer chunks; the pool never shrinks.
+  SetParallelismLimit(2);
+  ParallelFor(2000, 1, [](size_t, size_t) {});
+  EXPECT_GE(pool.worker_count(), small);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsSeriallyAndCorrectly) {
+  SetParallelismLimit(4);
+  const size_t outer = 400;
+  const size_t inner = 300;
+  std::vector<std::atomic<int>> counts(outer * inner);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(outer, 1, [&](size_t obegin, size_t oend) {
+    for (size_t o = obegin; o < oend; ++o) {
+      // Nested call: must degrade to serial on this thread (whether it is a
+      // pool worker or the dispatcher holding dispatch_mu_) without
+      // deadlocking, and still cover its whole range exactly once.
+      ParallelFor(inner, 1, [&](size_t ibegin, size_t iend) {
+        for (size_t i = ibegin; i < iend; ++i) {
+          counts[o * inner + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, InWorkerFalseOnCallerThread) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  SetParallelismLimit(4);
+  std::atomic<int> worker_sightings{0};
+  ParallelFor(4000, 1, [&](size_t, size_t) {
+    if (ThreadPool::InWorker()) worker_sightings.fetch_add(1);
+  });
+  // The dispatching thread participates too, so not every chunk runs in a
+  // worker; the flag must still be false back on the caller.
+  EXPECT_FALSE(ThreadPool::InWorker());
+  (void)worker_sightings;  // May be zero on single-core machines.
+}
+
+TEST_F(ThreadPoolTest, ChunkGeometryIsExactlyAsRequested) {
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t count = 1001;
+  const size_t chunk_count = 4;
+  const size_t chunk_size = 251;  // ceil(1001 / 4)
+  struct Ctx {
+    std::vector<std::atomic<size_t>> begins;
+    std::vector<std::atomic<size_t>> ends;
+    explicit Ctx(size_t n) : begins(n), ends(n) {}
+  } ctx(chunk_count);
+  pool.RunChunked(
+      [](void* raw, size_t chunk, size_t begin, size_t end) {
+        auto* c = static_cast<Ctx*>(raw);
+        c->begins[chunk].store(begin);
+        c->ends[chunk].store(end);
+      },
+      &ctx, count, chunk_count, chunk_size);
+  for (size_t c = 0; c < chunk_count; ++c) {
+    EXPECT_EQ(ctx.begins[c].load(), c * chunk_size);
+    EXPECT_EQ(ctx.ends[c].load(), std::min(count, (c + 1) * chunk_size));
+  }
+}
+
+TEST_F(ThreadPoolTest, ManyConsecutiveJobsSumCorrectly) {
+  SetParallelismLimit(4);
+  const size_t count = 5000;
+  std::vector<double> values(count);
+  std::iota(values.begin(), values.end(), 1.0);
+  const double expected =
+      static_cast<double>(count) * static_cast<double>(count + 1) / 2.0;
+  for (int round = 0; round < 50; ++round) {
+    const size_t chunk_count = ParallelChunkCount(count, 64);
+    std::vector<double> partials(chunk_count, 0.0);
+    ParallelForChunks(count, chunk_count,
+                      [&](size_t chunk, size_t begin, size_t end) {
+                        double acc = 0.0;
+                        for (size_t i = begin; i < end; ++i) acc += values[i];
+                        partials[chunk] = acc;
+                      });
+    double total = 0.0;
+    for (double p : partials) total += p;
+    ASSERT_EQ(total, expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace csod
