@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Verifies that every local file referenced from the documentation
+# actually exists: markdown links `[text](target)` plus bare mentions of
+# `*.md` files (the docs cross-link heavily — README → FAULT_MODEL →
+# THEORY — and a rename must not leave dangling pointers).
+#
+# Checks README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and docs/*.md.
+# http(s) URLs and intra-page #anchors are skipped. Targets resolve
+# relative to the referencing file's directory, then the repo root.
+#
+# Usage: scripts/check_docs_links.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+FILES=()
+for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  [[ -f "$f" ]] && FILES+=("$f")
+done
+
+missing=0
+checked=0
+
+resolve() {  # resolve <referencing-file> <target> → 0 if target exists
+  local from_dir target="$2"
+  from_dir="$(dirname "$1")"
+  [[ -e "$from_dir/$target" || -e "$ROOT/$target" ]]
+}
+
+for f in "${FILES[@]}"; do
+  # Markdown link targets: [text](target), minus URLs and pure anchors.
+  targets="$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' |
+             sed -E 's/#.*$//' | grep -vE '^(https?:|mailto:|$)' || true)"
+  # Bare mentions of .md files (e.g. "see DESIGN.md §2"), minus the
+  # markdown-link ones already covered.
+  bare="$(grep -oE '[A-Za-z0-9_./-]+\.md' "$f" | grep -vE '^https?:' || true)"
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    checked=$((checked + 1))
+    if ! resolve "$f" "$target"; then
+      echo "MISSING: $f references '$target'" >&2
+      missing=$((missing + 1))
+    fi
+  done <<< "$targets"$'\n'"$bare"
+done
+
+if (( missing > 0 )); then
+  echo "$missing dangling documentation reference(s)." >&2
+  exit 1
+fi
+echo "Docs link check passed ($checked references in ${#FILES[@]} files)."

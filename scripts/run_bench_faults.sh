@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the fault-injection sweep twice with a fixed fault seed, verifies
+# the two BENCH_faults.json outputs are byte-identical (the determinism
+# contract of docs/FAULT_MODEL.md), then installs the file at the repo
+# root.
+#
+# Usage: scripts/run_bench_faults.sh [extra fault_sweep flags...]
+#   BUILD_DIR=<dir>   build directory (default: build)
+#   FAULT_SEED=<int>  fault seed (default: 1)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+SEED="${FAULT_SEED:-1}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target fault_sweep -j "$(nproc)"
+
+TMP_A="$(mktemp)"
+TMP_B="$(mktemp)"
+trap 'rm -f "$TMP_A" "$TMP_B"' EXIT
+
+"$BUILD_DIR/bench/fault_sweep" --seed="$SEED" --out="$TMP_A" "$@"
+"$BUILD_DIR/bench/fault_sweep" --seed="$SEED" --out="$TMP_B" "$@" >/dev/null
+
+if ! diff -q "$TMP_A" "$TMP_B" >/dev/null; then
+  echo "FAIL: two runs with seed $SEED produced different BENCH_faults.json" >&2
+  diff "$TMP_A" "$TMP_B" >&2 || true
+  exit 1
+fi
+echo "Determinism check passed: two runs are byte-identical."
+
+cp "$TMP_A" "$ROOT/BENCH_faults.json"
+echo "Wrote $ROOT/BENCH_faults.json"

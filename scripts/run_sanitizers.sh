@@ -22,3 +22,11 @@ if [[ -n "$FILTER" ]]; then
 else
   ctest --output-on-failure -j "$(nproc)"
 fi
+
+# The fault-injection suite exercises the Channel/retry path that the CS
+# protocols now share; rerun it explicitly so a filtered invocation still
+# gets sanitizer coverage of the failure-handling code.
+ctest --output-on-failure -j "$(nproc)" -R 'Fault|Degraded|RetryPolicy'
+
+# Keep the documentation's cross-links honest while we're at it.
+"$ROOT/scripts/check_docs_links.sh"

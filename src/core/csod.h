@@ -30,6 +30,7 @@
 #include "dist/all_protocol.h"
 #include "dist/cluster.h"
 #include "dist/cs_protocol.h"
+#include "dist/fault.h"
 #include "dist/kplusdelta_protocol.h"
 #include "dist/randomized_max.h"
 #include "dist/topk_protocols.h"

@@ -1,6 +1,7 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <set>
 #include <string>
 
 #include "dist/wire_format.h"
@@ -79,6 +80,41 @@ Result<outlier::OutlierSet> DistributedOutlierDetector::Detect(
                                 ? cs::DefaultIterationsForK(k)
                                 : options_.iterations;
   CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery, Recover(iterations));
+  return outlier::KOutliersFromRecovery(recovery, k);
+}
+
+Result<outlier::OutlierSet> DistributedOutlierDetector::DetectExcluding(
+    const std::vector<SourceId>& excluded, size_t k) const {
+  if (k == 0) {
+    return Status::InvalidArgument("DetectExcluding: k must be > 0");
+  }
+  std::vector<double> partial_y = global_y_;
+  size_t remaining = sketches_.size();
+  std::set<SourceId> seen;
+  for (SourceId id : excluded) {
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("DetectExcluding: duplicate source " +
+                                     std::to_string(id));
+    }
+    auto it = sketches_.find(id);
+    if (it == sketches_.end()) {
+      return Status::NotFound("DetectExcluding: no source " +
+                              std::to_string(id));
+    }
+    la::Axpy(-1.0, it->second, &partial_y);
+    --remaining;
+  }
+  if (remaining == 0) {
+    return Status::FailedPrecondition(
+        "DetectExcluding: every source excluded — nothing to aggregate");
+  }
+  const size_t iterations = options_.iterations == 0
+                                ? cs::DefaultIterationsForK(k)
+                                : options_.iterations;
+  cs::BompOptions bomp_options;
+  bomp_options.max_iterations = iterations;
+  CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery,
+                        cs::RunBomp(*matrix_, partial_y, bomp_options));
   return outlier::KOutliersFromRecovery(recovery, k);
 }
 

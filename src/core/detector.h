@@ -71,6 +71,14 @@ class DistributedOutlierDetector {
   /// Detects the k-outliers and mode of the current global aggregate.
   Result<outlier::OutlierSet> Detect(size_t k) const;
 
+  /// Degraded-mode detection: answers from the partial sum
+  /// `Σ_{l ∉ excluded} y_l`, i.e. as if the excluded sources were
+  /// unreachable. Sound by CS linearity — the partial sum is exactly
+  /// Φ0 times the partial aggregate (docs/FAULT_MODEL.md). Every id in
+  /// `excluded` must be registered; sources stay registered afterwards.
+  Result<outlier::OutlierSet> DetectExcluding(
+      const std::vector<SourceId>& excluded, size_t k) const;
+
   /// Top-k by recovered value (the Section 6.2 extension; meaningful when
   /// the data's mode is 0).
   Result<std::vector<outlier::Outlier>> DetectTopK(size_t k) const;

@@ -34,26 +34,56 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
                                 ? cs::DefaultIterationsForK(k)
                                 : options_.iterations;
 
+  const FaultInjector injector(options_.faults);
+  Channel channel(comm, options_.faults.any() ? &injector : nullptr);
+  std::vector<NodeId> alive = cluster.NodeIds();
+  last_collection_ = CollectionReport{};
+  last_collection_.nodes_total = alive.size();
+
   size_t prev_m = 0;
   size_t m = std::min(options_.initial_m, options_.max_m);
   std::vector<size_t> previous_topk;
   while (true) {
-    comm->BeginRound();
+    channel.BeginRound();
     // Every node transmits only the new measurement rows [prev_m, m); the
     // previously shipped prefix is rescaled at the aggregator (row-prefix
     // property — see the class comment). In the simulator we recompute the
     // full compression per round for simplicity; the *accounting* charges
     // exactly the incremental rows, which is what the real system ships.
+    // A node that fails this round (after retries) drops out for good: its
+    // already-shipped prefix cannot be extended to the new M, so its whole
+    // contribution leaves the aggregate (docs/FAULT_MODEL.md).
+    const std::vector<bool> round_delivered = CollectWithRetry(
+        &channel, options_.retry, alive, "adaptive-measurements", m - prev_m,
+        kMeasurementBytes, &last_collection_);
+    std::vector<NodeId> still_alive;
+    still_alive.reserve(alive.size());
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (round_delivered[i]) still_alive.push_back(alive[i]);
+    }
+    alive = std::move(still_alive);
+    if (last_collection_.degraded() && !options_.allow_degraded) {
+      return Status::FailedPrecondition(
+          "AdaptiveCsProtocol: " +
+          std::to_string(last_collection_.excluded_nodes.size()) +
+          " node(s) unreachable after retries and degraded mode is "
+          "disabled");
+    }
+    if (alive.empty()) {
+      return Status::FailedPrecondition(
+          "AdaptiveCsProtocol: every node failed — no measurements to "
+          "aggregate");
+    }
+
     cs::MeasurementMatrix matrix(m, n, options_.seed,
                                  options_.cache_budget_bytes);
     cs::Compressor compressor(&matrix);
     std::vector<std::vector<double>> measurements;
-    measurements.reserve(cluster.num_nodes());
-    for (NodeId id : cluster.NodeIds()) {
+    measurements.reserve(alive.size());
+    for (NodeId id : alive) {
       CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
       CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
                             compressor.Compress(*slice));
-      comm->Account("adaptive-measurements", m - prev_m, kMeasurementBytes);
       measurements.push_back(std::move(y_l));
     }
     CSOD_ASSIGN_OR_RETURN(std::vector<double> y,

@@ -6,6 +6,7 @@
 
 #include "cs/bomp.h"
 #include "cs/measurement_matrix.h"
+#include "dist/fault.h"
 #include "dist/protocol.h"
 
 namespace csod::dist {
@@ -32,6 +33,16 @@ struct AdaptiveCsOptions {
   bool accept_on_stable_topk = true;
   /// Dense-cache budget for the recovery matrix.
   size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+  /// Fault plan applied to every round's incremental-row transmissions
+  /// (default: perfect network, bit-identical to the pre-fault protocol).
+  FaultPlan faults;
+  /// Coordinator retry/timeout policy per round.
+  RetryPolicy retry;
+  /// When true (default), a node that exhausts the retry budget in some
+  /// round is excluded from that round on — its measurement prefix can no
+  /// longer be extended — and recovery proceeds from the partial sum of
+  /// the surviving nodes. When false such a run fails instead.
+  bool allow_degraded = true;
 };
 
 /// Diagnostics of one adaptive round.
@@ -70,11 +81,15 @@ class AdaptiveCsProtocol final : public OutlierProtocol {
   const std::vector<AdaptiveRound>& rounds() const { return rounds_; }
   /// Recovery of the accepted (or final best-effort) round.
   const cs::BompResult& last_recovery() const { return last_recovery_; }
+  /// Fault-tolerance outcome of the last Run(); excluded nodes accumulate
+  /// across rounds (a failed node cannot rejoin — see AdaptiveCsOptions).
+  const CollectionReport& last_collection() const { return last_collection_; }
 
  private:
   AdaptiveCsOptions options_;
   std::vector<AdaptiveRound> rounds_;
   cs::BompResult last_recovery_;
+  CollectionReport last_collection_;
 };
 
 }  // namespace csod::dist

@@ -12,13 +12,14 @@ Result<outlier::OutlierSet> AllTransmitProtocol::Run(const Cluster& cluster,
   if (cluster.num_nodes() == 0) {
     return Status::FailedPrecondition("AllTransmitProtocol: empty cluster");
   }
-  comm->BeginRound();
+  Channel channel(comm);  // ALL has no fault tolerance: perfect network.
+  channel.BeginRound();
   for (NodeId id : cluster.NodeIds()) {
     CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
     if (encoding_ == AllEncoding::kVectorized) {
-      comm->Account("full-vector", cluster.key_space_size(), kValueBytes);
+      channel.Send(id, "full-vector", cluster.key_space_size(), kValueBytes);
     } else {
-      comm->Account("kv-pairs", slice->nnz(), kKeyValueBytes);
+      channel.Send(id, "kv-pairs", slice->nnz(), kKeyValueBytes);
     }
   }
   // The aggregator now has everything: exact answer.

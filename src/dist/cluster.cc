@@ -1,5 +1,6 @@
 #include "dist/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -73,8 +74,16 @@ std::vector<NodeId> Cluster::NodeIds() const {
 }
 
 std::vector<double> Cluster::GlobalAggregate() const {
+  return GlobalAggregateExcluding({});
+}
+
+std::vector<double> Cluster::GlobalAggregateExcluding(
+    const std::vector<NodeId>& excluded) const {
   std::vector<double> x(key_space_size_, 0.0);
   for (const auto& [id, slice] : slices_) {
+    if (std::find(excluded.begin(), excluded.end(), id) != excluded.end()) {
+      continue;
+    }
     for (size_t k = 0; k < slice.indices.size(); ++k) {
       x[slice.indices[k]] += slice.values[k];
     }

@@ -48,6 +48,12 @@ class Cluster {
   /// for tests and for the exact ALL baseline.
   std::vector<double> GlobalAggregate() const;
 
+  /// The partial aggregate `Σ_{l ∉ excluded} x_l` — what a degraded
+  /// protocol run actually recovers when the nodes in `excluded` failed
+  /// (docs/FAULT_MODEL.md). Unknown ids in `excluded` are ignored.
+  std::vector<double> GlobalAggregateExcluding(
+      const std::vector<NodeId>& excluded) const;
+
  private:
   size_t key_space_size_;
   NodeId next_id_ = 0;

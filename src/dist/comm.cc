@@ -1,0 +1,57 @@
+#include "dist/comm.h"
+
+namespace csod::dist {
+
+Delivery Channel::Send(NodeId node, const std::string& phase, uint64_t tuples,
+                       uint64_t bytes_per_tuple, uint64_t attempt) {
+  Delivery d;
+  if (injector_ != nullptr) d = injector_->Decide(node, round_, attempt);
+  ++fault_stats_.attempts;
+  if (d.crashed) {
+    // Crash-before-send: nothing left the node, no bytes on the wire.
+    ++fault_stats_.crashed;
+    return d;
+  }
+  stats_->Account(phase, tuples, bytes_per_tuple);
+  if (d.dropped) ++fault_stats_.dropped;
+  if (d.delay_ticks > 0) ++fault_stats_.delayed;
+  if (d.duplicated) {
+    // The duplicate copy is real wire traffic; the coordinator dedups by
+    // (node, round, attempt) so it can never double-add a measurement.
+    stats_->Account(phase, tuples, bytes_per_tuple);
+    ++fault_stats_.duplicates;
+  }
+  return d;
+}
+
+std::vector<bool> CollectWithRetry(Channel* channel, const RetryPolicy& retry,
+                                   const std::vector<NodeId>& nodes,
+                                   const std::string& phase, uint64_t tuples,
+                                   uint64_t bytes_per_tuple,
+                                   CollectionReport* report) {
+  std::vector<bool> delivered(nodes.size(), false);
+  const std::string retry_phase = phase + "-retry";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
+      if (attempt > 0) {
+        // The coordinator re-requests only this node's missing payload:
+        // one key tuple on the reliable control plane.
+        channel->Control("retry-request", 1, kValueBytes);
+        if (report != nullptr) ++report->retries;
+      }
+      const Delivery d =
+          channel->Send(nodes[i], attempt == 0 ? phase : retry_phase, tuples,
+                        bytes_per_tuple, attempt);
+      if (d.Arrived(retry.TimeoutForAttempt(attempt))) {
+        delivered[i] = true;
+        break;
+      }
+    }
+    if (!delivered[i] && report != nullptr) {
+      report->excluded_nodes.push_back(nodes[i]);
+    }
+  }
+  return delivered;
+}
+
+}  // namespace csod::dist

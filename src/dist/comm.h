@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "dist/fault.h"
 
 namespace csod::dist {
 
@@ -46,6 +49,77 @@ class CommStats {
   uint64_t rounds_ = 0;
   std::map<std::string, uint64_t> bytes_by_phase_;
 };
+
+/// \brief The node → coordinator data plane: every protocol transmission
+/// goes through a Channel, which accounts the bytes in CommStats and —
+/// when a FaultInjector is attached — subjects each message to the fault
+/// plan (docs/FAULT_MODEL.md).
+///
+/// With no injector every Send is delivered immediately and the Channel is
+/// byte-for-byte equivalent to calling `CommStats::Account` directly, so
+/// fault-free runs are bit-identical to the pre-fault protocols.
+///
+/// Accounting rules: a dropped message still costs its sender's bytes (it
+/// was transmitted and lost); a duplicated message costs twice; a
+/// crash-before-send costs nothing. Coordinator-side control traffic
+/// (re-requests, broadcasts) uses `Control`, which is assumed reliable —
+/// only the data plane is faulty (see the fault-model doc for why).
+class Channel {
+ public:
+  /// `stats` must not be null and must outlive the channel; `injector`
+  /// may be null (perfect network) and is borrowed, not owned.
+  explicit Channel(CommStats* stats, const FaultInjector* injector = nullptr)
+      : stats_(stats), injector_(injector) {}
+
+  /// Starts a communication round; fault decisions are keyed by the
+  /// current round so multi-round protocols re-draw per round.
+  void BeginRound() {
+    stats_->BeginRound();
+    round_ = stats_->rounds() == 0 ? 0 : stats_->rounds() - 1;
+  }
+
+  /// Transmits `tuples` tuples of `bytes_per_tuple` bytes from `node`
+  /// under `phase`, applying the attached fault plan to attempt
+  /// `attempt` of the current round. Returns what happened; the caller
+  /// decides delivery against its timeout via `Delivery::Arrived`.
+  Delivery Send(NodeId node, const std::string& phase, uint64_t tuples,
+                uint64_t bytes_per_tuple, uint64_t attempt = 0);
+
+  /// Coordinator-side control-plane traffic (re-requests, threshold
+  /// broadcasts, refinement fan-out): accounted, never faulted.
+  void Control(const std::string& phase, uint64_t tuples,
+               uint64_t bytes_per_tuple) {
+    stats_->Account(phase, tuples, bytes_per_tuple);
+  }
+
+  /// Injected-fault event counters of this channel's lifetime.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// True iff a fault injector is attached.
+  bool faulty() const { return injector_ != nullptr; }
+
+  CommStats* stats() { return stats_; }
+
+ private:
+  CommStats* stats_;
+  const FaultInjector* injector_;
+  uint64_t round_ = 0;
+  FaultStats fault_stats_;
+};
+
+/// Runs the coordinator's request/retry/timeout loop of one collection
+/// round against every node in `nodes`: attempt 0 is accounted under
+/// `phase`, re-requested attempts under `phase + "-retry"` (so retry
+/// bytes are separable in `CommStats::bytes_by_phase`), and each
+/// re-request costs one value tuple of control traffic under
+/// "retry-request". Returns, per node, whether its message arrived within
+/// the (backed-off) timeout; nodes that exhaust the budget are appended
+/// to `report->excluded_nodes`. `report` may be null.
+std::vector<bool> CollectWithRetry(Channel* channel, const RetryPolicy& retry,
+                                   const std::vector<NodeId>& nodes,
+                                   const std::string& phase, uint64_t tuples,
+                                   uint64_t bytes_per_tuple,
+                                   CollectionReport* report);
 
 }  // namespace csod::dist
 

@@ -29,19 +29,46 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
                                options_.cache_budget_bytes);
   cs::Compressor compressor(&matrix);
 
-  // Phase 1+2: local compression and measurement transmission.
-  comm->BeginRound();
-  std::vector<std::vector<double>> measurements;
-  measurements.reserve(cluster.num_nodes());
-  for (NodeId id : cluster.NodeIds()) {
-    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
-    CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
-                          compressor.Compress(*slice));
-    comm->Account("measurements", options_.m, kMeasurementBytes);
-    measurements.push_back(std::move(y_l));
+  // Phase 1+2: local compression and measurement transmission, through
+  // the fault-injecting channel with coordinator-side retries.
+  const FaultInjector injector(options_.faults);
+  Channel channel(comm, options_.faults.any() ? &injector : nullptr);
+  channel.BeginRound();
+  const std::vector<NodeId> ids = cluster.NodeIds();
+  last_collection_ = CollectionReport{};
+  last_collection_.nodes_total = ids.size();
+  const std::vector<bool> delivered =
+      CollectWithRetry(&channel, options_.retry, ids, "measurements",
+                       options_.m, kMeasurementBytes, &last_collection_);
+  if (last_collection_.degraded() && !options_.allow_degraded) {
+    return Status::FailedPrecondition(
+        "CsOutlierProtocol: " +
+        std::to_string(last_collection_.excluded_nodes.size()) +
+        " node(s) unreachable after retries and degraded mode is disabled");
   }
 
-  // Phase 3: global measurement y = Σ y_l (Equation 1).
+  // Only arrived measurements enter the aggregate; the simulator skips
+  // the compression compute of excluded nodes (their y_l never reaches
+  // the coordinator anyway).
+  std::vector<std::vector<double>> measurements;
+  measurements.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!delivered[i]) continue;
+    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
+                          cluster.Slice(ids[i]));
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                          compressor.Compress(*slice));
+    measurements.push_back(std::move(y_l));
+  }
+  if (measurements.empty()) {
+    return Status::FailedPrecondition(
+        "CsOutlierProtocol: every node failed — no measurements to "
+        "aggregate");
+  }
+
+  // Phase 3: global measurement y = Σ_{l ∈ alive} y_l (Equation 1; the
+  // partial sum on a degraded run — still Φ0 times the partial aggregate
+  // by linearity, so recovery stays sound for the alive slices).
   CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
                         cs::Compressor::AggregateMeasurements(measurements));
 

@@ -6,6 +6,7 @@
 
 #include "cs/bomp.h"
 #include "cs/measurement_matrix.h"
+#include "dist/fault.h"
 #include "dist/protocol.h"
 
 namespace csod::dist {
@@ -20,6 +21,18 @@ struct CsProtocolOptions {
   size_t iterations = 0;
   /// Dense-cache budget for the measurement matrix.
   size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+  /// Fault plan applied to the measurement transmissions. The default is a
+  /// perfect network: no injector is attached and the run is bit-identical
+  /// to the pre-fault protocol.
+  FaultPlan faults;
+  /// Coordinator retry/timeout policy for missing measurements. A retry
+  /// re-requests only the missing y_l — M tuples, not the node's data.
+  RetryPolicy retry;
+  /// When true (default), nodes that exhaust the retry budget are excluded
+  /// and the answer is recovered from the partial sum Σ_{alive} y_l (sound
+  /// by CS linearity; the excluded set is reported in last_collection()).
+  /// When false such a run fails with FailedPrecondition instead.
+  bool allow_degraded = true;
 };
 
 /// \brief The paper's CS-based single-round protocol (Figure 2):
@@ -37,9 +50,14 @@ class CsOutlierProtocol final : public OutlierProtocol {
   /// Full recovery diagnostics of the last Run() (mode trace, iterations).
   const cs::BompResult& last_recovery() const { return last_recovery_; }
 
+  /// Fault-tolerance outcome of the last Run(): excluded slices, retry
+  /// count, degraded flag. All-empty on a fault-free run.
+  const CollectionReport& last_collection() const { return last_collection_; }
+
  private:
   CsProtocolOptions options_;
   cs::BompResult last_recovery_;
+  CollectionReport last_collection_;
 };
 
 }  // namespace csod::dist

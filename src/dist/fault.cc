@@ -1,0 +1,69 @@
+#include "dist/fault.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace csod::dist {
+
+namespace {
+
+// Purpose tags keep the per-fault decision streams independent: a message
+// that is dropped at one rate setting keeps the same straggler/duplicate
+// fate, so sweeping one rate does not reshuffle the others.
+constexpr uint64_t kCrashTag = 0x6372617368ULL;      // "crash"
+constexpr uint64_t kDropTag = 0x64726f70ULL;         // "drop"
+constexpr uint64_t kStragglerTag = 0x736c6f77ULL;    // "slow"
+constexpr uint64_t kDuplicateTag = 0x64757065ULL;    // "dupe"
+
+}  // namespace
+
+uint64_t RetryPolicy::TimeoutForAttempt(size_t attempt) const {
+  double timeout = static_cast<double>(timeout_ticks);
+  for (size_t i = 0; i < attempt; ++i) timeout *= backoff;
+  return static_cast<uint64_t>(std::ceil(timeout));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  forced_crashes_.insert(plan_.crash_nodes.begin(), plan_.crash_nodes.end());
+}
+
+double FaultInjector::Unit(uint64_t purpose, NodeId node, uint64_t round,
+                           uint64_t attempt) const {
+  const uint64_t word = HashCombine(
+      HashCombine(HashCombine(plan_.seed, purpose), HashCombine(node, round)),
+      attempt);
+  return ToUnitDouble(SplitMix64(word));
+}
+
+bool FaultInjector::NodeCrashed(NodeId node) const {
+  if (forced_crashes_.count(node) != 0) return true;
+  if (plan_.crash_rate <= 0.0) return false;
+  // Crash-before-send is a per-node, per-run decision: round and attempt
+  // do not enter the hash, so a crashed node stays dead on every retry.
+  return Unit(kCrashTag, node, 0, 0) < plan_.crash_rate;
+}
+
+Delivery FaultInjector::Decide(NodeId node, uint64_t round,
+                               uint64_t attempt) const {
+  Delivery d;
+  if (NodeCrashed(node)) {
+    d.crashed = true;
+    return d;
+  }
+  if (plan_.drop_rate > 0.0 &&
+      Unit(kDropTag, node, round, attempt) < plan_.drop_rate) {
+    d.dropped = true;
+  }
+  if (plan_.straggler_rate > 0.0 &&
+      Unit(kStragglerTag, node, round, attempt) < plan_.straggler_rate) {
+    d.delay_ticks = plan_.straggler_delay_ticks;
+  }
+  if (plan_.duplicate_rate > 0.0 &&
+      Unit(kDuplicateTag, node, round, attempt) < plan_.duplicate_rate) {
+    d.duplicated = true;
+  }
+  return d;
+}
+
+}  // namespace csod::dist

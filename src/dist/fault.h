@@ -1,0 +1,142 @@
+#ifndef CSOD_DIST_FAULT_H_
+#define CSOD_DIST_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dist/cluster.h"
+
+namespace csod::dist {
+
+/// \brief Coordinator-side retry/timeout policy for one measurement round
+/// (docs/FAULT_MODEL.md, "Retry semantics").
+///
+/// The coordinator waits `timeout_ticks` virtual ticks for a node's message;
+/// on timeout it re-requests the missing payload and waits `backoff` times
+/// longer, up to `max_retries` re-requests. Exponential backoff is what lets
+/// a straggler with a fixed delay eventually get through: the timeout grows
+/// past any finite delay after O(log(delay)) retries.
+struct RetryPolicy {
+  /// Re-requests after the initial attempt (0 = no fault tolerance).
+  size_t max_retries = 3;
+  /// Ticks the coordinator waits for the first attempt.
+  uint64_t timeout_ticks = 4;
+  /// Timeout multiplier per retry (>= 1).
+  double backoff = 2.0;
+
+  /// The timeout applied to attempt `attempt` (0 = initial attempt):
+  /// ceil(timeout_ticks * backoff^attempt).
+  uint64_t TimeoutForAttempt(size_t attempt) const;
+};
+
+/// \brief Declarative fault model of one protocol run
+/// (docs/FAULT_MODEL.md, "Fault taxonomy").
+///
+/// All rates are per-message probabilities in [0, 1] except `crash_rate`,
+/// which is a per-node probability, and `crash_nodes`, which crashes the
+/// listed nodes unconditionally (the reproducible "1 of L crashed"
+/// scenario). Every decision the plan induces is a pure function of
+/// (seed, node, round, attempt) — see FaultInjector — so a run is
+/// bit-reproducible from `seed` alone.
+struct FaultPlan {
+  /// Seed of the fault stream. Independent of the protocol's consensus
+  /// seed: the same data can be replayed under different fault histories.
+  uint64_t seed = 0;
+  /// P[a message is lost in flight]. The sender's bytes are still spent.
+  double drop_rate = 0.0;
+  /// P[a node crashes before its first send] — it never transmits and all
+  /// re-requests to it fail for the rest of the run.
+  double crash_rate = 0.0;
+  /// Nodes forced to crash-before-send regardless of `crash_rate`.
+  std::vector<NodeId> crash_nodes;
+  /// P[a message is delayed by `straggler_delay_ticks`].
+  double straggler_rate = 0.0;
+  /// Arrival delay of a straggling message, in virtual ticks.
+  uint64_t straggler_delay_ticks = 6;
+  /// P[a message is sent twice]. The coordinator dedups by (node, round,
+  /// attempt); the duplicate costs bytes but cannot double-add y_l.
+  double duplicate_rate = 0.0;
+
+  /// True when any fault source is active.
+  bool any() const {
+    return drop_rate > 0.0 || crash_rate > 0.0 || straggler_rate > 0.0 ||
+           duplicate_rate > 0.0 || !crash_nodes.empty();
+  }
+};
+
+/// What the channel did to one Send attempt.
+struct Delivery {
+  /// The sender is dead: nothing left the node, no bytes were spent.
+  bool crashed = false;
+  /// The message left the node (bytes spent) but was lost in flight.
+  bool dropped = false;
+  /// Arrival delay in ticks (0 = immediate; straggling messages arrive
+  /// late and may miss the coordinator's timeout).
+  uint64_t delay_ticks = 0;
+  /// A second identical copy was transmitted (and paid for).
+  bool duplicated = false;
+
+  /// True iff the message reached the coordinator within `timeout_ticks`.
+  bool Arrived(uint64_t timeout_ticks) const {
+    return !crashed && !dropped && delay_ticks <= timeout_ticks;
+  }
+};
+
+/// Channel-side counters of injected fault events (for tests and the
+/// fault-sweep bench; byte accounting stays in CommStats).
+struct FaultStats {
+  uint64_t attempts = 0;    ///< Send calls (per-copy, duplicates excluded).
+  uint64_t crashed = 0;     ///< Attempts swallowed by a dead sender.
+  uint64_t dropped = 0;     ///< Messages lost in flight.
+  uint64_t delayed = 0;     ///< Messages that straggled.
+  uint64_t duplicates = 0;  ///< Extra copies transmitted.
+};
+
+/// \brief Deterministic fault oracle: every decision is a pure function of
+/// (plan.seed, node, round, attempt) via the SplitMix64 hash chain, so two
+/// runs with the same plan see byte-identical fault histories regardless
+/// of thread count, call order, or wall clock.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The fate of attempt `attempt` of node `node`'s message in `round`.
+  Delivery Decide(NodeId node, uint64_t round, uint64_t attempt) const;
+
+  /// True iff `node` crashed before its first send (permanent for the
+  /// injector's lifetime — i.e. for the protocol run).
+  bool NodeCrashed(NodeId node) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  // Uniform [0,1) draw for a (purpose, node, round, attempt) tuple.
+  double Unit(uint64_t purpose, NodeId node, uint64_t round,
+              uint64_t attempt) const;
+
+  FaultPlan plan_;
+  std::unordered_set<NodeId> forced_crashes_;
+};
+
+/// \brief Outcome of fault-tolerant measurement collection: which slices
+/// the aggregate is missing and how much retrying it took. `degraded()`
+/// runs recovered from the partial sum Σ_{l ∈ alive} y_l (sound by CS
+/// linearity — docs/FAULT_MODEL.md, "Degraded aggregation").
+struct CollectionReport {
+  /// Nodes in the cluster when collection started.
+  size_t nodes_total = 0;
+  /// Nodes whose y_l is missing from the aggregate (retry budget
+  /// exhausted or crashed), ascending by the order they were tried.
+  std::vector<NodeId> excluded_nodes;
+  /// Re-request attempts across all nodes and rounds.
+  uint64_t retries = 0;
+
+  /// True iff the final answer was computed from a partial aggregate.
+  bool degraded() const { return !excluded_nodes.empty(); }
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_FAULT_H_

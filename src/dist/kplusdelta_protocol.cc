@@ -25,8 +25,12 @@ Result<outlier::OutlierSet> KPlusDeltaProtocol::Run(const Cluster& cluster,
   g = std::min(std::max<size_t>(g, 1), std::min(budget, n));
   const size_t report = budget > g ? budget - g : 0;
 
+  // All three rounds ship through the channel abstraction (no fault plan:
+  // the K+δ baseline is evaluated on a perfect network).
+  Channel channel(comm);
+
   // --- Round 1: common sampled keys, exact aggregation, mode estimate. ---
-  comm->BeginRound();
+  channel.BeginRound();
   Rng rng(options_.seed);
   std::unordered_set<size_t> sampled_set;
   while (sampled_set.size() < g) {
@@ -42,18 +46,18 @@ Result<outlier::OutlierSet> KPlusDeltaProtocol::Run(const Cluster& cluster,
       auto it = exact_sampled.find(slice->indices[j]);
       if (it != exact_sampled.end()) it->second += slice->values[j];
     }
-    comm->Account("round1-sample", g, kKeyValueBytes);
+    channel.Send(id, "round1-sample", g, kKeyValueBytes);
   }
   double mode_estimate = 0.0;
   for (const auto& [key, value] : exact_sampled) mode_estimate += value;
   mode_estimate /= static_cast<double>(exact_sampled.size());
 
-  // --- Round 2: broadcast the mode estimate. ---
-  comm->BeginRound();
-  comm->Account("round2-broadcast", cluster.num_nodes(), kValueBytes);
+  // --- Round 2: broadcast the mode estimate (control plane). ---
+  channel.BeginRound();
+  channel.Control("round2-broadcast", cluster.num_nodes(), kValueBytes);
 
   // --- Round 3: per-node locally-most-divergent keys w.r.t. b. ---
-  comm->BeginRound();
+  channel.BeginRound();
   std::unordered_map<size_t, double> candidate_sums;
   for (NodeId id : cluster.NodeIds()) {
     CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
@@ -70,7 +74,7 @@ Result<outlier::OutlierSet> KPlusDeltaProtocol::Run(const Cluster& cluster,
       const size_t pos = order[j];
       candidate_sums[slice->indices[pos]] += slice->values[pos];
     }
-    comm->Account("round3-outliers", send, kKeyValueBytes);
+    channel.Send(id, "round3-outliers", send, kKeyValueBytes);
   }
 
   // The exactly-aggregated sampled keys are candidates too (the aggregator

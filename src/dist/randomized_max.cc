@@ -47,8 +47,10 @@ Result<RandomizedMaxResult> RunRandomizedMax(
         HashCombine(HashCombine(options.seed, rep), key) & 1);
   };
 
+  const std::vector<NodeId> ids = cluster.NodeIds();
+  Channel channel(comm);  // Baseline: perfect network.
   std::vector<uint32_t> wins(n, 0);
-  comm->BeginRound();  // All repetitions ship in parallel (single round).
+  channel.BeginRound();  // All repetitions ship in parallel (single round).
   for (size_t rep = 0; rep < repetitions; ++rep) {
     double group_sum[2] = {0.0, 0.0};
     for (const cs::SparseSlice* slice : slices) {
@@ -64,7 +66,7 @@ Result<RandomizedMaxResult> RunRandomizedMax(
   }
   // 2 group-sum values per node per repetition.
   for (size_t l = 0; l < slices.size(); ++l) {
-    comm->Account("group-sums", 2 * repetitions, kValueBytes);
+    channel.Send(ids[l], "group-sums", 2 * repetitions, kValueBytes);
   }
 
   // Highest vote count wins; one exact lookup for the reported value.
@@ -78,7 +80,8 @@ Result<RandomizedMaxResult> RunRandomizedMax(
       if (slice->indices[j] == best_key) exact += slice->values[j];
     }
   }
-  comm->Account("final-lookup", slices.size(), kKeyValueBytes);
+  // Coordinator-driven exact lookup of the winner: control plane.
+  channel.Control("final-lookup", slices.size(), kKeyValueBytes);
 
   RandomizedMaxResult result;
   result.key_index = best_key;

@@ -57,15 +57,16 @@ std::vector<outlier::Outlier> RankTopK(
 }
 
 // Exact aggregate of `key` via random access at every node. Accounts one
-// kv-pair response per node (the request key id rides in the same tuple).
+// kv-pair response per node (the request key id rides in the same tuple);
+// coordinator-driven fan-out, so it travels on the channel's control plane.
 double RandomAccess(const std::vector<SortedSlice>& slices, size_t key,
-                    CommStats* comm) {
+                    Channel* channel) {
   double sum = 0.0;
   for (const SortedSlice& s : slices) {
     auto it = s.lookup.find(key);
     if (it != s.lookup.end()) sum += it->second;
   }
-  comm->Account("random-access", slices.size(), kKeyValueBytes);
+  channel->Control("random-access", slices.size(), kKeyValueBytes);
   return sum;
 }
 
@@ -84,12 +85,14 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
     return Status::FailedPrecondition("TA: empty cluster");
   }
   CSOD_ASSIGN_OR_RETURN(std::vector<SortedSlice> slices, SortSlices(cluster));
+  const std::vector<NodeId> ids = cluster.NodeIds();
+  Channel channel(comm);  // Baseline: perfect network.
 
   std::unordered_map<size_t, double> exact;  // key -> exact aggregate
   std::vector<size_t> cursor(slices.size(), 0);
 
   while (true) {
-    comm->BeginRound();
+    channel.BeginRound();
     bool any_released = false;
     double threshold = 0.0;
     for (size_t l = 0; l < slices.size(); ++l) {
@@ -99,11 +102,12 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
         any_released = true;
         const size_t key = entries[j].first;
         if (exact.find(key) == exact.end()) {
-          exact[key] = RandomAccess(slices, key, comm);
+          exact[key] = RandomAccess(slices, key, &channel);
         }
       }
       if (end > cursor[l]) {
-        comm->Account("sorted-access", end - cursor[l], kKeyValueBytes);
+        channel.Send(ids[l], "sorted-access", end - cursor[l],
+                     kKeyValueBytes);
       }
       cursor[l] = end;
       // Frontier value: the last value this node released (0 when the
@@ -140,17 +144,20 @@ Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
     return Status::FailedPrecondition("TPUT: empty cluster");
   }
   CSOD_ASSIGN_OR_RETURN(std::vector<SortedSlice> slices, SortSlices(cluster));
+  const std::vector<NodeId> ids = cluster.NodeIds();
   const size_t num_nodes = slices.size();
+  Channel channel(comm);  // Baseline: perfect network.
 
   // --- Phase 1: local top-k, partial sums, lower bound τ. ---
-  comm->BeginRound();
+  channel.BeginRound();
   std::unordered_map<size_t, double> partial_sums;
-  for (const SortedSlice& s : slices) {
+  for (size_t l = 0; l < slices.size(); ++l) {
+    const SortedSlice& s = slices[l];
     const size_t send = std::min(k, s.entries.size());
     for (size_t j = 0; j < send; ++j) {
       partial_sums[s.entries[j].first] += s.entries[j].second;
     }
-    comm->Account("phase1-local-topk", send, kKeyValueBytes);
+    channel.Send(ids[l], "phase1-local-topk", send, kKeyValueBytes);
   }
   double tau = 0.0;
   if (partial_sums.size() >= k && k > 0) {
@@ -163,23 +170,24 @@ Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
   }
 
   // --- Phase 2: prune with the uniform threshold τ/L. ---
-  comm->BeginRound();
-  comm->Account("phase2-broadcast", num_nodes, kValueBytes);
+  channel.BeginRound();
+  channel.Control("phase2-broadcast", num_nodes, kValueBytes);
   const double node_threshold = tau / static_cast<double>(num_nodes);
   std::unordered_set<size_t> candidates;
   for (const auto& [key, v] : partial_sums) candidates.insert(key);
-  for (const SortedSlice& s : slices) {
+  for (size_t l = 0; l < slices.size(); ++l) {
+    const SortedSlice& s = slices[l];
     size_t sent = 0;
     for (const auto& [key, value] : s.entries) {
       if (value < node_threshold) break;  // Sorted descending.
       candidates.insert(key);
       ++sent;
     }
-    comm->Account("phase2-prune", sent, kKeyValueBytes);
+    channel.Send(ids[l], "phase2-prune", sent, kKeyValueBytes);
   }
 
   // --- Phase 3: exact refinement of the candidate set. ---
-  comm->BeginRound();
+  channel.BeginRound();
   std::unordered_map<size_t, double> exact;
   for (size_t key : candidates) {
     double sum = 0.0;
@@ -189,8 +197,8 @@ Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
     }
     exact[key] = sum;
   }
-  comm->Account("phase3-refine", candidates.size() * num_nodes,
-                kKeyValueBytes);
+  channel.Control("phase3-refine", candidates.size() * num_nodes,
+                  kKeyValueBytes);
 
   TopKRunResult result;
   result.top = RankTopK(exact, k);

@@ -50,6 +50,43 @@ double ErrorOnValue(const OutlierSet& truth, const OutlierSet& estimate) {
   return std::sqrt(diff_sq / truth_sq);
 }
 
+KeySetQuality KeyQuality(const OutlierSet& truth, const OutlierSet& estimate) {
+  std::unordered_set<size_t> truth_keys;
+  truth_keys.reserve(truth.outliers.size());
+  for (const Outlier& o : truth.outliers) truth_keys.insert(o.key_index);
+  size_t hits = 0;
+  for (const Outlier& o : estimate.outliers) {
+    hits += truth_keys.count(o.key_index);
+  }
+  KeySetQuality q;
+  q.precision = estimate.outliers.empty()
+                    ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(estimate.outliers.size());
+  q.recall = truth.outliers.empty()
+                 ? 1.0
+                 : static_cast<double>(hits) /
+                       static_cast<double>(truth.outliers.size());
+  q.f1 = (q.precision + q.recall) == 0.0
+             ? 0.0
+             : 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+DegradedRunStats EvaluateDegradedRun(const OutlierSet& truth,
+                                     const OutlierSet& estimate,
+                                     size_t nodes_total, size_t nodes_excluded,
+                                     uint64_t retries) {
+  DegradedRunStats stats;
+  stats.nodes_total = nodes_total;
+  stats.nodes_excluded = nodes_excluded;
+  stats.retries = retries;
+  stats.error_on_key = ErrorOnKey(truth, estimate);
+  stats.error_on_value = ErrorOnValue(truth, estimate);
+  stats.quality = KeyQuality(truth, estimate);
+  return stats;
+}
+
 ErrorStats ErrorStats::FromSamples(const std::vector<double>& samples) {
   ErrorStats stats;
   if (samples.empty()) return stats;

@@ -2,6 +2,7 @@
 #define CSOD_OUTLIER_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "outlier/outlier.h"
@@ -24,6 +25,50 @@ double ErrorOnKey(const OutlierSet& truth, const OutlierSet& estimate);
 /// estimate is padded with its own mode (the recovered "normal" value).
 /// Returns 0 when the truth has no outliers.
 double ErrorOnValue(const OutlierSet& truth, const OutlierSet& estimate);
+
+/// \brief Key-set precision/recall of an estimate against the truth.
+///
+/// EK treats a miss and a false alarm identically; degraded (partial-
+/// aggregate) runs need the two separated, because excluding nodes
+/// typically costs recall (outliers carried by the lost slices vanish)
+/// while precision degrades only when the lost mass forges new outliers.
+struct KeySetQuality {
+  double precision = 1.0;  ///< |truth ∩ estimate| / |estimate|.
+  double recall = 1.0;     ///< |truth ∩ estimate| / |truth|.
+  double f1 = 1.0;         ///< Harmonic mean (0 when both are 0).
+};
+
+/// Precision/recall/F1 of the estimate's key set. An empty estimate has
+/// precision 1 (vacuous) and recall 0 unless the truth is empty too.
+KeySetQuality KeyQuality(const OutlierSet& truth, const OutlierSet& estimate);
+
+/// \brief Full accounting of one degraded protocol run: estimate quality
+/// against the *full-cluster* ground truth plus the fault-tolerance
+/// bookkeeping (how many slices the aggregate was missing and what the
+/// retries cost). Emitted per point by the fault-sweep bench
+/// (BENCH_faults.json).
+struct DegradedRunStats {
+  size_t nodes_total = 0;
+  size_t nodes_excluded = 0;
+  uint64_t retries = 0;
+  double error_on_key = 0.0;
+  double error_on_value = 0.0;
+  KeySetQuality quality;
+
+  /// Fraction of slices missing from the aggregate.
+  double excluded_fraction() const {
+    return nodes_total == 0
+               ? 0.0
+               : static_cast<double>(nodes_excluded) /
+                     static_cast<double>(nodes_total);
+  }
+};
+
+/// Evaluates a (possibly degraded) run against the full-cluster truth.
+DegradedRunStats EvaluateDegradedRun(const OutlierSet& truth,
+                                     const OutlierSet& estimate,
+                                     size_t nodes_total, size_t nodes_excluded,
+                                     uint64_t retries);
 
 /// Aggregate of min/max/mean over repeated trials, as reported in
 /// Figures 5-8 ("MAX, MIN and AVG ... in the 100 runs").
