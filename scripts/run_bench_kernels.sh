@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Runs the micro-kernel benchmark suite and writes BENCH_kernels.json
-# (google-benchmark JSON reporter) at the repo root, for comparing the
-# persistent-pool / fused-argmax kernels against earlier checkouts.
+# Runs the micro-kernel benchmark suite (BENCH_kernels.json, google-benchmark
+# JSON reporter) and the end-to-end sketching benchmark (BENCH_sketch.json),
+# both written at the repo root, for comparing the persistent-pool /
+# fused-argmax / batched-sketch kernels against earlier checkouts.
+#
+# The sketch benchmark runs twice; timings differ run to run, so the
+# determinism check (same pattern as run_bench_faults.sh) diffs only the
+# y_digest / bit_identical lines, which must be byte-identical.
 #
 # Usage: scripts/run_bench_kernels.sh [benchmark_filter_regex]
-#   BUILD_DIR=<dir>  build directory (default: build)
+#   BUILD_DIR=<dir>      build directory (default: build)
+#   SKETCH_FLAGS=<flags> extra bench_sketch flags (e.g. "--quick=true")
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,7 +20,8 @@ FILTER="${1:-.*}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" --target bench_micro_kernels -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_micro_kernels bench_sketch \
+  -j "$(nproc)"
 
 "$BUILD_DIR/bench/bench_micro_kernels" \
   --benchmark_filter="$FILTER" \
@@ -23,3 +30,24 @@ cmake --build "$BUILD_DIR" --target bench_micro_kernels -j "$(nproc)"
   --benchmark_repetitions="${BENCH_REPS:-1}"
 
 echo "Wrote $ROOT/BENCH_kernels.json"
+
+TMP_A="$(mktemp)"
+TMP_B="$(mktemp)"
+trap 'rm -f "$TMP_A" "$TMP_B"' EXIT
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_sketch" --out="$TMP_A" ${SKETCH_FLAGS:-}
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_sketch" --out="$TMP_B" ${SKETCH_FLAGS:-} >/dev/null
+
+if ! diff <(grep -E 'y_digest|bit_identical' "$TMP_A") \
+          <(grep -E 'y_digest|bit_identical' "$TMP_B") >/dev/null; then
+  echo "FAIL: two bench_sketch runs produced different y digests" >&2
+  diff <(grep -E 'y_digest|bit_identical' "$TMP_A") \
+       <(grep -E 'y_digest|bit_identical' "$TMP_B") >&2 || true
+  exit 1
+fi
+echo "Sketch determinism check passed: digests identical across two runs."
+
+cp "$TMP_A" "$ROOT/BENCH_sketch.json"
+echo "Wrote $ROOT/BENCH_sketch.json"

@@ -28,5 +28,19 @@ fi
 # gets sanitizer coverage of the failure-handling code.
 ctest --output-on-failure -j "$(nproc)" -R 'Fault|Degraded|RetryPolicy'
 
+# SIMD kernel + batch sketching tests again under the same sanitizer, but
+# with the portable dispatch path forced at compile time, so both sides of
+# the AVX2/portable split get sanitizer coverage.
+PORTABLE_BUILD_DIR="${PORTABLE_BUILD_DIR:-$ROOT/build-${SAN}san-portable}"
+cmake -B "$PORTABLE_BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSOD_SANITIZE="$SAN" \
+  -DCSOD_FORCE_PORTABLE_SIMD=ON
+cmake --build "$PORTABLE_BUILD_DIR" -j "$(nproc)" --target \
+  simd_test measurement_matrix_test compressor_test
+(cd "$PORTABLE_BUILD_DIR" &&
+ ctest --output-on-failure -j "$(nproc)" \
+   -R 'Simd|MeasurementMatrix|Compressor|SparseSlice')
+
 # Keep the documentation's cross-links honest while we're at it.
 "$ROOT/scripts/check_docs_links.sh"

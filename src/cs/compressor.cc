@@ -11,16 +11,28 @@ namespace {
 constexpr size_t kMinEntriesPerChunk = 4096;
 }  // namespace
 
-std::vector<double> SparseSlice::ToDense(size_t n) const {
+Result<std::vector<double>> SparseSlice::ToDense(size_t n) const {
+  for (size_t j : indices) {
+    if (j >= n) {
+      return Status::OutOfRange("ToDense: index " + std::to_string(j) +
+                                " out of N " + std::to_string(n));
+    }
+  }
   std::vector<double> x(n, 0.0);
   for (size_t k = 0; k < indices.size(); ++k) {
-    if (indices[k] < n) x[indices[k]] += values[k];
+    x[indices[k]] += values[k];
   }
   return x;
 }
 
 SparseSlice SparseSlice::FromDense(const std::vector<double>& x) {
+  size_t nnz = 0;
+  for (double v : x) {
+    if (v != 0.0) ++nnz;
+  }
   SparseSlice slice;
+  slice.indices.reserve(nnz);
+  slice.values.reserve(nnz);
   for (size_t i = 0; i < x.size(); ++i) {
     if (x[i] != 0.0) {
       slice.indices.push_back(i);
@@ -28,6 +40,39 @@ SparseSlice SparseSlice::FromDense(const std::vector<double>& x) {
     }
   }
   return slice;
+}
+
+Status Compressor::CompressAccumulate(
+    const std::vector<const SparseSlice*>& slices,
+    std::vector<double>* y_out) const {
+  std::vector<SparseVectorView> views;
+  views.reserve(slices.size());
+  for (const SparseSlice* slice : slices) views.push_back(slice->View());
+  return matrix_->MultiplySparseBatch(views, y_out);
+}
+
+Status Compressor::CompressAccumulate(const std::vector<SparseSlice>& slices,
+                                      std::vector<double>* y_out) const {
+  std::vector<SparseVectorView> views;
+  views.reserve(slices.size());
+  for (const SparseSlice& slice : slices) views.push_back(slice.View());
+  return matrix_->MultiplySparseBatch(views, y_out);
+}
+
+Result<std::vector<std::vector<double>>> Compressor::CompressEach(
+    const std::vector<const SparseSlice*>& slices) const {
+  std::vector<SparseVectorView> views;
+  views.reserve(slices.size());
+  for (const SparseSlice* slice : slices) views.push_back(slice->View());
+  std::vector<double> flat;
+  CSOD_RETURN_NOT_OK(
+      matrix_->MultiplySparseBatch(views, /*sum_out=*/nullptr, &flat));
+  const size_t m = matrix_->m();
+  std::vector<std::vector<double>> out(slices.size());
+  for (size_t l = 0; l < slices.size(); ++l) {
+    out[l].assign(flat.begin() + l * m, flat.begin() + (l + 1) * m);
+  }
+  return out;
 }
 
 Result<std::vector<double>> Compressor::AggregateMeasurements(

@@ -20,8 +20,15 @@ struct SparseSlice {
 
   size_t nnz() const { return indices.size(); }
 
-  /// Materializes the dense N-vector (zeros elsewhere).
-  std::vector<double> ToDense(size_t n) const;
+  /// Non-owning view over this slice's storage (for batched compression).
+  SparseVectorView View() const {
+    return SparseVectorView{indices.data(), values.data(), indices.size()};
+  }
+
+  /// Materializes the dense N-vector (zeros elsewhere; duplicate indices
+  /// accumulate). Returns OutOfRange if any index is >= n — a slice carrying
+  /// keys outside the dictionary is a bug upstream, not data to drop.
+  Result<std::vector<double>> ToDense(size_t n) const;
 
   /// Builds a sparse slice from a dense vector, dropping zeros.
   static SparseSlice FromDense(const std::vector<double>& x);
@@ -47,6 +54,29 @@ class Compressor {
   Result<std::vector<double>> Compress(const SparseSlice& slice) const {
     return matrix_->MultiplySparse(slice.indices, slice.values);
   }
+
+  /// \brief Fused compress-and-accumulate over a whole cluster's slices:
+  /// writes `y = Σ_l Φ0 x_l` (length M) into `*y_out` without materializing
+  /// any per-node `y_l`.
+  ///
+  /// Bit-identical to Compress(slice) per node followed by
+  /// AggregateMeasurements, at any parallelism limit and SIMD level — the
+  /// guarantee the fault-free protocol fast path relies on when fault runs
+  /// (which keep the per-node path) are compared bitwise against it. An
+  /// empty batch yields y = 0, matching a cluster of empty slices.
+  Status CompressAccumulate(const std::vector<const SparseSlice*>& slices,
+                            std::vector<double>* y_out) const;
+
+  /// Convenience overload for an owned slice vector.
+  Status CompressAccumulate(const std::vector<SparseSlice>& slices,
+                            std::vector<double>* y_out) const;
+
+  /// Compresses every slice in one batched pass: element l is bit-identical
+  /// to Compress(slices[l]). Cheaper than L separate calls when the matrix
+  /// is implicit (columns shared across slices are generated once per batch,
+  /// not once per node) and parallelizes across nodes, not just within one.
+  Result<std::vector<std::vector<double>>> CompressEach(
+      const std::vector<const SparseSlice*>& slices) const;
 
   /// Aggregates local measurements into the global measurement
   /// `y = Σ_l y_l` (Equation 1). All measurements must have length M.

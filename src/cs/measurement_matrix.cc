@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace csod::cs {
 
@@ -13,40 +14,81 @@ namespace {
 // kernels below cost >= M flops per column, so tiny jobs stay serial.
 constexpr size_t kMinColumnsPerChunk = 256;
 
+// Column *generation* (Box-Muller: log/sqrt/sincos per pair) is an order of
+// magnitude heavier than an M-flop pass, so the implicit batch kernel
+// parallelizes generation at a much finer grain.
+constexpr size_t kMinColumnsPerGeneration = 32;
+
 // Fixed block geometry for the reduction kernels (Multiply, MultiplySparse,
-// BiasColumn). Each block accumulates a private partial vector; partials are
-// combined serially in block order. The block size must NOT depend on the
-// parallelism limit: that keeps the floating-point summation tree — and so
-// the result — bit-identical at any thread count.
+// MultiplySparseBatch, BiasColumn). Each block accumulates a private partial
+// vector; partials are combined serially in block order. The block size must
+// NOT depend on the parallelism limit: that keeps the floating-point
+// summation tree — and so the result — bit-identical at any thread count.
 constexpr size_t kReductionBlockColumns = 2048;
 constexpr size_t kReductionBlockNnz = 512;
 
-// Register-blocked correlation over four cached column streams: four
-// independent accumulators amortize one pass over r across four columns.
-// Each column's accumulation order over i is unchanged versus the scalar
-// loop, so results are bit-identical to the unblocked kernel.
-inline void DotFourColumns(const double* c0, const double* c1,
-                           const double* c2, const double* c3,
-                           const double* r, size_t m, double out[4]) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (size_t i = 0; i < m; ++i) {
-    const double ri = r[i];
-    a0 += c0[i] * ri;
-    a1 += c1[i] * ri;
-    a2 += c2[i] * ri;
-    a3 += c3[i] * ri;
-  }
-  out[0] = a0;
-  out[1] = a1;
-  out[2] = a2;
-  out[3] = a3;
-}
+// Streams (column pointer, coefficient) pairs into `acc` eight at a time
+// via the fused simd::Axpy8, falling back to Axpy4/Axpy for the remainder.
+// Every fused form is bit-identical to one simd::Axpy per entry in push
+// order (common/simd.h), so batch boundaries never affect the result — only
+// the number of passes over acc and the number of concurrent load streams.
+class AxpyBatcher {
+ public:
+  AxpyBatcher(double* acc, size_t m) : acc_(acc), m_(m) {}
 
-inline double DotColumn(const double* col, const double* r, size_t m) {
-  double acc = 0.0;
-  for (size_t i = 0; i < m; ++i) acc += col[i] * r[i];
-  return acc;
-}
+  void Push(const double* col, double x) {
+    cols_[filled_] = col;
+    xs_[filled_] = x;
+    if (++filled_ == 8) Flush();
+  }
+
+  void Flush() {
+    size_t k = 0;
+    if (filled_ == 8) {
+      simd::Axpy8(acc_, cols_, xs_, m_);
+      k = 8;
+    } else if (filled_ >= 4) {
+      simd::Axpy4(acc_, cols_[0], xs_[0], cols_[1], xs_[1], cols_[2], xs_[2],
+                  cols_[3], xs_[3], m_);
+      k = 4;
+    }
+    for (; k < filled_; ++k) simd::Axpy(acc_, cols_[k], xs_[k], m_);
+    filled_ = 0;
+  }
+
+ private:
+  double* acc_;
+  size_t m_;
+  const double* cols_[8];
+  double xs_[8];
+  size_t filled_ = 0;
+};
+
+// Same idea for unscaled column sums (BiasColumn).
+class AddBatcher {
+ public:
+  AddBatcher(double* acc, size_t m) : acc_(acc), m_(m) {}
+
+  void Push(const double* col) {
+    cols_[filled_] = col;
+    if (++filled_ == 4) Flush();
+  }
+
+  void Flush() {
+    if (filled_ == 4) {
+      simd::Add4(acc_, cols_[0], cols_[1], cols_[2], cols_[3], m_);
+    } else {
+      for (size_t k = 0; k < filled_; ++k) simd::Add(acc_, cols_[k], m_);
+    }
+    filled_ = 0;
+  }
+
+ private:
+  double* acc_;
+  size_t m_;
+  const double* cols_[4];
+  size_t filled_ = 0;
+};
 
 // Folds a candidate (index, value) into the running chunk-local argmax.
 // Strict > with ascending candidate order == lowest index wins on ties.
@@ -75,7 +117,7 @@ MeasurementMatrix::MeasurementMatrix(size_t m, size_t n, uint64_t seed,
         CounterGaussian gen(HashCombine(seed_, col));
         double* dst = cache_.data() + col * m_;
         gen.Fill(m_, dst);
-        for (size_t row = 0; row < m_; ++row) dst[row] *= inv_sqrt_m_;
+        simd::Scale(dst, inv_sqrt_m_, m_);
       }
     });
   }
@@ -84,12 +126,12 @@ MeasurementMatrix::MeasurementMatrix(size_t m, size_t n, uint64_t seed,
 void MeasurementMatrix::FillColumn(size_t col, double* out) const {
   if (!cache_.empty()) {
     const double* src = cache_.data() + col * m_;
-    for (size_t row = 0; row < m_; ++row) out[row] = src[row];
+    std::copy(src, src + m_, out);
     return;
   }
   CounterGaussian gen(HashCombine(seed_, col));
   gen.Fill(m_, out);
-  for (size_t row = 0; row < m_; ++row) out[row] *= inv_sqrt_m_;
+  simd::Scale(out, inv_sqrt_m_, m_);
 }
 
 std::vector<double> MeasurementMatrix::Column(size_t col) const {
@@ -109,17 +151,21 @@ Result<std::vector<double>> MeasurementMatrix::Multiply(
   // Accumulates columns [col_begin, col_end) into acc (size M). The scratch
   // column is only needed when the matrix is implicit.
   auto accumulate = [&](size_t col_begin, size_t col_end, double* acc) {
-    std::vector<double> col;
-    if (cache_.empty()) col.resize(m_);
-    for (size_t j = col_begin; j < col_end; ++j) {
-      const double xj = x[j];
-      if (xj == 0.0) continue;
-      if (!cache_.empty()) {
-        const double* src = cache_.data() + j * m_;
-        for (size_t i = 0; i < m_; ++i) acc[i] += src[i] * xj;
-      } else {
+    if (!cache_.empty()) {
+      AxpyBatcher batch(acc, m_);
+      for (size_t j = col_begin; j < col_end; ++j) {
+        const double xj = x[j];
+        if (xj == 0.0) continue;
+        batch.Push(cache_.data() + j * m_, xj);
+      }
+      batch.Flush();
+    } else {
+      std::vector<double> col(m_);
+      for (size_t j = col_begin; j < col_end; ++j) {
+        const double xj = x[j];
+        if (xj == 0.0) continue;
         FillColumn(j, col.data());
-        for (size_t i = 0; i < m_; ++i) acc[i] += col[i] * xj;
+        simd::Axpy(acc, col.data(), xj, m_);
       }
     }
   };
@@ -142,8 +188,7 @@ Result<std::vector<double>> MeasurementMatrix::Multiply(
     }
   });
   for (size_t b = 0; b < num_blocks; ++b) {
-    const double* part = partials.data() + b * m_;
-    for (size_t i = 0; i < m_; ++i) y[i] += part[i];
+    simd::Add(y.data(), partials.data() + b * m_, m_);
   }
   return y;
 }
@@ -164,17 +209,21 @@ Result<std::vector<double>> MeasurementMatrix::MultiplySparse(
   const size_t nnz = indices.size();
   std::vector<double> y(m_, 0.0);
   auto accumulate = [&](size_t k_begin, size_t k_end, double* acc) {
-    std::vector<double> col;
-    if (cache_.empty()) col.resize(m_);
-    for (size_t k = k_begin; k < k_end; ++k) {
-      const double xj = values[k];
-      if (xj == 0.0) continue;
-      if (!cache_.empty()) {
-        const double* src = cache_.data() + indices[k] * m_;
-        for (size_t i = 0; i < m_; ++i) acc[i] += src[i] * xj;
-      } else {
+    if (!cache_.empty()) {
+      AxpyBatcher batch(acc, m_);
+      for (size_t k = k_begin; k < k_end; ++k) {
+        const double xj = values[k];
+        if (xj == 0.0) continue;
+        batch.Push(cache_.data() + indices[k] * m_, xj);
+      }
+      batch.Flush();
+    } else {
+      std::vector<double> col(m_);
+      for (size_t k = k_begin; k < k_end; ++k) {
+        const double xj = values[k];
+        if (xj == 0.0) continue;
         FillColumn(indices[k], col.data());
-        for (size_t i = 0; i < m_; ++i) acc[i] += col[i] * xj;
+        simd::Axpy(acc, col.data(), xj, m_);
       }
     }
   };
@@ -193,10 +242,178 @@ Result<std::vector<double>> MeasurementMatrix::MultiplySparse(
     }
   });
   for (size_t b = 0; b < num_blocks; ++b) {
-    const double* part = partials.data() + b * m_;
-    for (size_t i = 0; i < m_; ++i) y[i] += part[i];
+    simd::Add(y.data(), partials.data() + b * m_, m_);
   }
   return y;
+}
+
+Status MeasurementMatrix::MultiplySparseBatch(
+    const std::vector<SparseVectorView>& slices, std::vector<double>* sum_out,
+    std::vector<double>* per_slice_out, size_t scratch_budget_bytes) const {
+  // Validate up front so the parallel phase below cannot fail.
+  for (const SparseVectorView& s : slices) {
+    for (size_t k = 0; k < s.nnz; ++k) {
+      if (s.indices[k] >= n_) {
+        return Status::OutOfRange(
+            "MultiplySparseBatch: index " + std::to_string(s.indices[k]) +
+            " out of N " + std::to_string(n_));
+      }
+    }
+  }
+
+  // Per-slice fixed block geometry, identical to MultiplySparse: slice l's
+  // entries are cut at multiples of kReductionBlockNnz in original order.
+  struct Block {
+    size_t slice;
+    size_t k_begin;
+    size_t k_end;
+  };
+  std::vector<Block> blocks;
+  for (size_t l = 0; l < slices.size(); ++l) {
+    for (size_t k = 0; k < slices[l].nnz; k += kReductionBlockNnz) {
+      blocks.push_back(
+          Block{l, k, std::min(slices[l].nnz, k + kReductionBlockNnz)});
+    }
+  }
+
+  if (per_slice_out != nullptr) per_slice_out->assign(slices.size() * m_, 0.0);
+  if (sum_out != nullptr) sum_out->assign(m_, 0.0);
+  if (blocks.empty()) return Status::OK();  // Every slice empty: y = 0.
+
+  // Processing schedule: block-ordinal-major (block 0 of every slice, then
+  // block 1 of every slice, ...). Blocks accumulate into disjoint partials,
+  // so processing order cannot change bits — only the serial folds below fix
+  // the floating-point order. Ordinal-major scheduling is a locality win:
+  // slices are typically index-sorted (SparseSlice::FromDense, the cluster
+  // simulator), so block k of different slices covers a similar column
+  // range, and columns shared across nodes (hot keys) stay cache-resident
+  // across the whole batch instead of being re-fetched per node.
+  std::vector<size_t> schedule(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) schedule[b] = b;
+  std::stable_sort(schedule.begin(), schedule.end(), [&](size_t a, size_t b) {
+    return blocks[a].k_begin < blocks[b].k_begin;
+  });
+
+  // Block b's entries accumulate into partials[b*M, (b+1)*M) exactly as
+  // MultiplySparse would (same order, same 4-wide fusion); `column` resolves
+  // an entry to its column storage.
+  std::vector<double> partials(blocks.size() * m_, 0.0);
+  auto run_block = [&](size_t b, auto&& column) {
+    const Block& blk = blocks[b];
+    const SparseVectorView& s = slices[blk.slice];
+    AxpyBatcher batch(partials.data() + b * m_, m_);
+    for (size_t k = blk.k_begin; k < blk.k_end; ++k) {
+      const double xj = s.values[k];
+      if (xj == 0.0) continue;
+      batch.Push(column(s.indices[k]), xj);
+    }
+    batch.Flush();
+  };
+
+  if (!cache_.empty()) {
+    // Cross-slice parallel over all blocks at once, in schedule order.
+    ParallelFor(schedule.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        run_block(schedule[i],
+                  [&](size_t j) { return cache_.data() + j * m_; });
+      }
+    });
+  } else {
+    // Implicit matrix: tiered column scratch. Schedule-consecutive blocks
+    // are grouped into waves small enough that one generated column per
+    // entry fits the scratch budget (distinct columns only are actually
+    // generated); within a wave every distinct column is generated exactly
+    // once, no matter how many slices reference it. The ordinal-major
+    // schedule makes a wave span block k of many slices, so columns shared
+    // across nodes land in the same wave and are generated once per batch.
+    // Wave composition depends only on the data and the budget — never on
+    // thread scheduling — and generation is pure, so the accumulated bits
+    // match the generate-per-entry path exactly.
+    const size_t max_wave_entries = std::max(
+        kReductionBlockNnz, scratch_budget_bytes / (m_ * sizeof(double)));
+    std::vector<size_t> wave_cols;
+    std::vector<double> scratch;
+    size_t wave_begin = 0;
+    while (wave_begin < schedule.size()) {
+      size_t wave_end = wave_begin;
+      size_t entries = 0;
+      while (wave_end < schedule.size()) {
+        const Block& blk = blocks[schedule[wave_end]];
+        const size_t blk_entries = blk.k_end - blk.k_begin;
+        if (wave_end > wave_begin && entries + blk_entries > max_wave_entries) {
+          break;
+        }
+        entries += blk_entries;
+        ++wave_end;
+      }
+
+      wave_cols.clear();
+      for (size_t i = wave_begin; i < wave_end; ++i) {
+        const Block& blk = blocks[schedule[i]];
+        const SparseVectorView& s = slices[blk.slice];
+        wave_cols.insert(wave_cols.end(), s.indices + blk.k_begin,
+                         s.indices + blk.k_end);
+      }
+      std::sort(wave_cols.begin(), wave_cols.end());
+      wave_cols.erase(std::unique(wave_cols.begin(), wave_cols.end()),
+                      wave_cols.end());
+
+      scratch.resize(wave_cols.size() * m_);
+      ParallelFor(wave_cols.size(), kMinColumnsPerGeneration,
+                  [&](size_t begin, size_t end) {
+                    for (size_t c = begin; c < end; ++c) {
+                      FillColumn(wave_cols[c], scratch.data() + c * m_);
+                    }
+                  });
+
+      ParallelFor(wave_end - wave_begin, 1, [&](size_t begin, size_t end) {
+        for (size_t rel = begin; rel < end; ++rel) {
+          run_block(schedule[wave_begin + rel], [&](size_t j) {
+            const size_t slot = static_cast<size_t>(
+                std::lower_bound(wave_cols.begin(), wave_cols.end(), j) -
+                wave_cols.begin());
+            return scratch.data() + slot * m_;
+          });
+        }
+      });
+      wave_begin = wave_end;
+    }
+  }
+
+  // Serial folds in fixed (slice, block) order — scheduling-independent and
+  // bit-identical to MultiplySparse's per-slice partial fold followed by
+  // AggregateMeasurements' slice-order sum.
+  if (per_slice_out != nullptr) {
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      simd::Add(per_slice_out->data() + blocks[b].slice * m_,
+                partials.data() + b * m_, m_);
+    }
+    if (sum_out != nullptr) {
+      for (size_t l = 0; l < slices.size(); ++l) {
+        simd::Add(sum_out->data(), per_slice_out->data() + l * m_, m_);
+      }
+    }
+    return Status::OK();
+  }
+  if (sum_out != nullptr) {
+    std::vector<double> slice_acc;
+    size_t b = 0;
+    for (size_t l = 0; l < slices.size(); ++l) {
+      const size_t b_begin = b;
+      while (b < blocks.size() && blocks[b].slice == l) ++b;
+      if (b == b_begin) continue;  // Empty slice: y_l = 0, a bit-exact no-op.
+      if (b - b_begin == 1) {
+        simd::Add(sum_out->data(), partials.data() + b_begin * m_, m_);
+      } else {
+        slice_acc.assign(m_, 0.0);
+        for (size_t bb = b_begin; bb < b; ++bb) {
+          simd::Add(slice_acc.data(), partials.data() + bb * m_, m_);
+        }
+        simd::Add(sum_out->data(), slice_acc.data(), m_);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status MeasurementMatrix::CorrelateAllInto(const std::vector<double>& r,
@@ -212,20 +429,22 @@ Status MeasurementMatrix::CorrelateAllInto(const std::vector<double>& r,
       size_t j = begin;
       for (; j + 4 <= end; j += 4) {
         const double* base = cache_.data() + j * m_;
-        DotFourColumns(base, base + m_, base + 2 * m_, base + 3 * m_, rp, m_,
-                       out + j);
+        simd::Dot4(base, base + m_, base + 2 * m_, base + 3 * m_, rp, m_,
+                   out + j);
       }
       for (; j < end; ++j) {
-        out[j] = DotColumn(cache_.data() + j * m_, rp, m_);
+        out[j] = simd::Dot(cache_.data() + j * m_, rp, m_);
       }
     });
   } else {
+    // Pre-scaled generation (FillColumn) so the dot sees the same column
+    // bits as the cached path — cached and implicit correlations are
+    // bit-identical, not merely close.
     ParallelFor(n_, kMinColumnsPerChunk, [&](size_t begin, size_t end) {
       std::vector<double> col(m_);
       for (size_t j = begin; j < end; ++j) {
-        CounterGaussian gen(HashCombine(seed_, j));
-        gen.Fill(m_, col.data());
-        out[j] = DotColumn(col.data(), rp, m_) * inv_sqrt_m_;
+        FillColumn(j, col.data());
+        out[j] = simd::Dot(col.data(), rp, m_);
       }
     });
   }
@@ -266,15 +485,15 @@ Result<CorrelateArgmaxResult> MeasurementMatrix::CorrelateArgmax(
       double dots[4];
       auto flush = [&] {
         if (filled == 4) {
-          DotFourColumns(cache_.data() + batch[0] * m_,
-                         cache_.data() + batch[1] * m_,
-                         cache_.data() + batch[2] * m_,
-                         cache_.data() + batch[3] * m_, rp, m_, dots);
+          simd::Dot4(cache_.data() + batch[0] * m_,
+                     cache_.data() + batch[1] * m_,
+                     cache_.data() + batch[2] * m_,
+                     cache_.data() + batch[3] * m_, rp, m_, dots);
           for (size_t k = 0; k < 4; ++k) FoldArgmax(batch[k], dots[k], &best);
         } else {
           for (size_t k = 0; k < filled; ++k) {
-            FoldArgmax(batch[k], DotColumn(cache_.data() + batch[k] * m_, rp, m_),
-                       &best);
+            FoldArgmax(batch[k],
+                       simd::Dot(cache_.data() + batch[k] * m_, rp, m_), &best);
           }
         }
         filled = 0;
@@ -289,9 +508,8 @@ Result<CorrelateArgmaxResult> MeasurementMatrix::CorrelateArgmax(
       std::vector<double> col(m_);
       for (size_t j = begin; j < end; ++j) {
         if (skip != nullptr && (*skip)[j + skip_offset]) continue;
-        CounterGaussian gen(HashCombine(seed_, j));
-        gen.Fill(m_, col.data());
-        FoldArgmax(j, DotColumn(col.data(), rp, m_) * inv_sqrt_m_, &best);
+        FillColumn(j, col.data());
+        FoldArgmax(j, simd::Dot(col.data(), rp, m_), &best);
       }
     }
     return best;
@@ -319,15 +537,17 @@ Result<CorrelateArgmaxResult> MeasurementMatrix::CorrelateArgmax(
 std::vector<double> MeasurementMatrix::BiasColumn() const {
   std::vector<double> phi0(m_, 0.0);
   auto accumulate = [&](size_t col_begin, size_t col_end, double* acc) {
-    std::vector<double> col;
-    if (cache_.empty()) col.resize(m_);
-    for (size_t j = col_begin; j < col_end; ++j) {
-      if (!cache_.empty()) {
-        const double* src = cache_.data() + j * m_;
-        for (size_t i = 0; i < m_; ++i) acc[i] += src[i];
-      } else {
+    if (!cache_.empty()) {
+      AddBatcher batch(acc, m_);
+      for (size_t j = col_begin; j < col_end; ++j) {
+        batch.Push(cache_.data() + j * m_);
+      }
+      batch.Flush();
+    } else {
+      std::vector<double> col(m_);
+      for (size_t j = col_begin; j < col_end; ++j) {
         FillColumn(j, col.data());
-        for (size_t i = 0; i < m_; ++i) acc[i] += col[i];
+        simd::Add(acc, col.data(), m_);
       }
     }
   };
@@ -347,12 +567,11 @@ std::vector<double> MeasurementMatrix::BiasColumn() const {
       }
     });
     for (size_t b = 0; b < num_blocks; ++b) {
-      const double* part = partials.data() + b * m_;
-      for (size_t i = 0; i < m_; ++i) phi0[i] += part[i];
+      simd::Add(phi0.data(), partials.data() + b * m_, m_);
     }
   }
   const double scale = 1.0 / std::sqrt(static_cast<double>(n_));
-  for (double& v : phi0) v *= scale;
+  simd::Scale(phi0.data(), scale, m_);
   return phi0;
 }
 

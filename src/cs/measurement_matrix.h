@@ -27,6 +27,15 @@ struct CorrelateArgmaxResult {
   double abs_correlation = -1.0;
 };
 
+/// \brief Non-owning view of one node's sparse slice, for the batched
+/// sketching kernel (MultiplySparseBatch). The pointed-to arrays must stay
+/// alive for the duration of the call.
+struct SparseVectorView {
+  const size_t* indices = nullptr;
+  const double* values = nullptr;
+  size_t nnz = 0;
+};
+
 /// \brief The paper's random Gaussian measurement matrix
 /// `Φ0 (M x N, entries i.i.d. N(0, 1/M))`, generated deterministically
 /// from a seed.
@@ -83,6 +92,35 @@ class MeasurementMatrix {
       const std::vector<size_t>& indices,
       const std::vector<double>& values) const;
 
+  /// \brief Batched sketching: y_l = Φ0 x_l for many slices in one pass.
+  ///
+  /// Writes, when the out-pointers are non-null (each may independently be
+  /// null):
+  ///  - `per_slice_out` (resized to `slices.size() * M`): slice l's
+  ///    measurement at [l*M, (l+1)*M), bit-identical to
+  ///    MultiplySparse(slice l);
+  ///  - `sum_out` (resized to M): Σ_l Φ0 x_l folded in slice order,
+  ///    bit-identical to per-slice MultiplySparse followed by
+  ///    Compressor::AggregateMeasurements. An empty batch yields zeros.
+  ///
+  /// Each slice keeps MultiplySparse's fixed per-slice block geometry and
+  /// entry order; all blocks across all slices run in parallel, and the
+  /// block partials are folded serially in (slice, block) order — so the
+  /// result is bit-identical at any parallelism limit AND to the serial
+  /// per-node path, which is what lets the fault-free protocol fast path
+  /// coexist with the bit-compared per-node fault path.
+  ///
+  /// When the matrix is implicit, columns are generated into a tiered
+  /// scratch: consecutive blocks are grouped into waves whose entry count
+  /// fits `scratch_budget_bytes` worth of columns, and each distinct column
+  /// is generated once per wave (once per batch when the batch fits)
+  /// instead of once per referencing entry. Regeneration is pure, so
+  /// sharing never changes the accumulated bits.
+  Status MultiplySparseBatch(
+      const std::vector<SparseVectorView>& slices,
+      std::vector<double>* sum_out, std::vector<double>* per_slice_out = nullptr,
+      size_t scratch_budget_bytes = kDefaultBatchScratchBytes) const;
+
   /// c = Φ0^T * r (size N), the OMP correlation kernel.
   Result<std::vector<double>> CorrelateAll(const std::vector<double>& r) const;
 
@@ -112,6 +150,8 @@ class MeasurementMatrix {
   const std::vector<double>& CachedBiasColumn() const;
 
   static constexpr size_t kDefaultCacheBudgetBytes = size_t{512} << 20;
+  /// Default per-wave column scratch for the implicit batched kernel.
+  static constexpr size_t kDefaultBatchScratchBytes = size_t{128} << 20;
 
  private:
   double GenerateEntry(size_t row, size_t col) const {

@@ -78,16 +78,33 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
     cs::MeasurementMatrix matrix(m, n, options_.seed,
                                  options_.cache_budget_bytes);
     cs::Compressor compressor(&matrix);
-    std::vector<std::vector<double>> measurements;
-    measurements.reserve(alive.size());
-    for (NodeId id : alive) {
-      CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
-      CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
-                            compressor.Compress(*slice));
-      measurements.push_back(std::move(y_l));
+    std::vector<double> y;
+    if (!options_.faults.any()) {
+      // Fault-free fast path: fused compress-and-accumulate over every
+      // node's slice (bit-identical to the per-node path below, so fault
+      // runs — which must keep per-node y_l for dropout accounting — stay
+      // bit-comparable to fault-free ones).
+      std::vector<const cs::SparseSlice*> slices;
+      slices.reserve(alive.size());
+      for (NodeId id : alive) {
+        CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
+                              cluster.Slice(id));
+        slices.push_back(slice);
+      }
+      CSOD_RETURN_NOT_OK(compressor.CompressAccumulate(slices, &y));
+    } else {
+      std::vector<std::vector<double>> measurements;
+      measurements.reserve(alive.size());
+      for (NodeId id : alive) {
+        CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
+                              cluster.Slice(id));
+        CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                              compressor.Compress(*slice));
+        measurements.push_back(std::move(y_l));
+      }
+      CSOD_ASSIGN_OR_RETURN(
+          y, cs::Compressor::AggregateMeasurements(measurements));
     }
-    CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
-                          cs::Compressor::AggregateMeasurements(measurements));
 
     cs::BompOptions bomp_options;
     bomp_options.max_iterations = iterations;

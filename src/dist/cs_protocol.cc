@@ -47,30 +47,45 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
         " node(s) unreachable after retries and degraded mode is disabled");
   }
 
-  // Only arrived measurements enter the aggregate; the simulator skips
-  // the compression compute of excluded nodes (their y_l never reaches
-  // the coordinator anyway).
-  std::vector<std::vector<double>> measurements;
-  measurements.reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (!delivered[i]) continue;
-    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
-                          cluster.Slice(ids[i]));
-    CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
-                          compressor.Compress(*slice));
-    measurements.push_back(std::move(y_l));
-  }
-  if (measurements.empty()) {
-    return Status::FailedPrecondition(
-        "CsOutlierProtocol: every node failed — no measurements to "
-        "aggregate");
-  }
-
   // Phase 3: global measurement y = Σ_{l ∈ alive} y_l (Equation 1; the
   // partial sum on a degraded run — still Φ0 times the partial aggregate
   // by linearity, so recovery stays sound for the alive slices).
-  CSOD_ASSIGN_OR_RETURN(std::vector<double> y,
-                        cs::Compressor::AggregateMeasurements(measurements));
+  std::vector<double> y;
+  if (!options_.faults.any()) {
+    // Fault-free fast path: fused compress-and-accumulate across the whole
+    // cluster, never materializing per-node y_l vectors.
+    // CompressAccumulate is bit-identical to the per-node path below
+    // (compressor_test), so fault and fault-free runs stay bit-comparable.
+    std::vector<const cs::SparseSlice*> slices;
+    slices.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
+                            cluster.Slice(ids[i]));
+      slices.push_back(slice);
+    }
+    CSOD_RETURN_NOT_OK(compressor.CompressAccumulate(slices, &y));
+  } else {
+    // Fault path: only arrived measurements enter the aggregate; the
+    // simulator skips the compression compute of excluded nodes (their
+    // y_l never reaches the coordinator anyway).
+    std::vector<std::vector<double>> measurements;
+    measurements.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!delivered[i]) continue;
+      CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
+                            cluster.Slice(ids[i]));
+      CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                            compressor.Compress(*slice));
+      measurements.push_back(std::move(y_l));
+    }
+    if (measurements.empty()) {
+      return Status::FailedPrecondition(
+          "CsOutlierProtocol: every node failed — no measurements to "
+          "aggregate");
+    }
+    CSOD_ASSIGN_OR_RETURN(
+        y, cs::Compressor::AggregateMeasurements(measurements));
+  }
 
   // Phase 4: BOMP recovery (Algorithm 1) and k-outlier extraction.
   cs::BompOptions bomp_options;

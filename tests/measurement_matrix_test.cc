@@ -5,11 +5,36 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "la/vector_ops.h"
 
 namespace csod::cs {
 namespace {
+
+// Restores the global parallelism limit a test overrode.
+class ScopedParallelismLimit {
+ public:
+  explicit ScopedParallelismLimit(size_t limit)
+      : previous_(GetParallelismLimit()) {
+    SetParallelismLimit(limit);
+  }
+  ~ScopedParallelismLimit() { SetParallelismLimit(previous_); }
+
+ private:
+  size_t previous_;
+};
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level)
+      : previous_(simd::SetLevelForTesting(level)) {}
+  ~ScopedSimdLevel() { simd::SetLevelForTesting(previous_); }
+
+ private:
+  simd::Level previous_;
+};
 
 TEST(MeasurementMatrixTest, ConsensusProperty) {
   // Two "nodes" building the matrix from the same seed get identical
@@ -243,6 +268,143 @@ TEST(MeasurementMatrixTest, CorrelateArgmaxErrors) {
   std::vector<bool> short_mask(20, false);
   // With skip_offset = 1 the mask must cover n + 1 entries.
   EXPECT_FALSE(matrix.CorrelateArgmax(r, &short_mask, 1).ok());
+}
+
+TEST(MeasurementMatrixTest, MultiplySparseDuplicateIndicesAccumulate) {
+  // A pre-aggregation slice may legitimately carry the same key twice; the
+  // kernel must treat that as the summed coefficient.
+  MeasurementMatrix matrix(12, 50, 11);
+  auto dup = matrix.MultiplySparse({3, 17, 3}, {2.5, -1.0, 1.5});
+  auto manual = matrix.Multiply([] {
+    std::vector<double> x(50, 0.0);
+    x[3] = 2.5 + 1.5;
+    x[17] = -1.0;
+    return x;
+  }());
+  ASSERT_TRUE(dup.ok());
+  ASSERT_TRUE(manual.ok());
+  EXPECT_NEAR(la::DistanceL2(dup.Value(), manual.Value()), 0.0, 1e-12);
+}
+
+TEST(MeasurementMatrixTest, CorrelateImplicitMatchesCachedBitwise) {
+  // Both paths dot the same pre-scaled column bits through the same
+  // canonical lane split, so cached vs implicit is exact, not approximate.
+  MeasurementMatrix cached(24, 600, 13);
+  MeasurementMatrix implicit(24, 600, 13, /*cache_budget_bytes=*/0);
+  std::vector<double> r(24);
+  Rng rng(3);
+  for (double& v : r) v = rng.NextGaussian();
+  auto a = cached.CorrelateAll(r);
+  auto b = implicit.CorrelateAll(r);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.Value(), b.Value());
+}
+
+TEST(MeasurementMatrixTest, KernelsBitIdenticalAcrossLimitsAndLevels) {
+  // N spans multiple reduction blocks (kReductionBlockColumns) and the
+  // sparse input spans multiple nnz blocks, so the fixed-geometry partials
+  // actually get exercised. Reference: serial + portable SIMD.
+  const size_t m = 24, n = 5000;
+  Rng rng(41);
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; i += 3) x[i] = rng.NextGaussian();
+  std::vector<size_t> sparse_idx;
+  std::vector<double> sparse_val;
+  for (size_t k = 0; k < 1300; ++k) {
+    sparse_idx.push_back((k * 37) % n);
+    sparse_val.push_back(rng.NextGaussian());
+  }
+  std::vector<double> r(m);
+  for (double& v : r) v = rng.NextGaussian();
+
+  for (const size_t budget : {size_t{1} << 24, size_t{0}}) {
+    MeasurementMatrix matrix(m, n, 17, budget);
+
+    std::vector<double> ref_multiply, ref_sparse, ref_correlate, ref_bias;
+    CorrelateArgmaxResult ref_argmax;
+    {
+      ScopedParallelismLimit serial(1);
+      ScopedSimdLevel portable(simd::Level::kPortable);
+      ref_multiply = matrix.Multiply(x).MoveValue();
+      ref_sparse = matrix.MultiplySparse(sparse_idx, sparse_val).MoveValue();
+      ref_correlate = matrix.CorrelateAll(r).MoveValue();
+      ref_bias = matrix.BiasColumn();
+      ref_argmax = matrix.CorrelateArgmax(r).MoveValue();
+    }
+
+    for (const size_t limit : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (simd::Level level :
+           {simd::Level::kPortable, simd::Level::kAvx2}) {
+        ScopedParallelismLimit scoped_limit(limit);
+        ScopedSimdLevel scoped_level(level);
+        const auto label = [&] {
+          return "budget=" + std::to_string(budget) +
+                 " limit=" + std::to_string(limit) + " level=" +
+                 std::string(simd::LevelName(simd::ActiveLevel()));
+        };
+        EXPECT_EQ(matrix.Multiply(x).Value(), ref_multiply) << label();
+        EXPECT_EQ(matrix.MultiplySparse(sparse_idx, sparse_val).Value(),
+                  ref_sparse)
+            << label();
+        EXPECT_EQ(matrix.CorrelateAll(r).Value(), ref_correlate) << label();
+        EXPECT_EQ(matrix.BiasColumn(), ref_bias) << label();
+        const auto argmax = matrix.CorrelateArgmax(r).MoveValue();
+        EXPECT_EQ(argmax.index, ref_argmax.index) << label();
+        EXPECT_EQ(argmax.correlation, ref_argmax.correlation) << label();
+      }
+    }
+  }
+}
+
+TEST(MeasurementMatrixTest, MultiplySparseBatchTinyScratchMatchesPerSlice) {
+  // A scratch budget far below one wave's worth of columns forces the
+  // implicit batch kernel through many generation waves; every wave split
+  // must leave the per-slice and summed bits untouched.
+  const size_t m = 16, n = 2000;
+  MeasurementMatrix implicit(m, n, 23, /*cache_budget_bytes=*/0);
+  Rng rng(9);
+  std::vector<SparseVectorView> views;
+  std::vector<std::vector<size_t>> idx(4);
+  std::vector<std::vector<double>> val(4);
+  for (size_t l = 0; l < 4; ++l) {
+    const size_t nnz = 700 + 100 * l;  // > kReductionBlockNnz: multi-block.
+    for (size_t k = 0; k < nnz; ++k) {
+      idx[l].push_back((k * 13 + l) % n);
+      val[l].push_back(rng.NextGaussian());
+    }
+    views.push_back(SparseVectorView{idx[l].data(), val[l].data(), nnz});
+  }
+
+  std::vector<double> expected_sum(m, 0.0);
+  std::vector<double> expected_per(4 * m);
+  for (size_t l = 0; l < 4; ++l) {
+    auto y = implicit.MultiplySparse(idx[l], val[l]);
+    ASSERT_TRUE(y.ok());
+    std::copy(y.Value().begin(), y.Value().end(),
+              expected_per.begin() + l * m);
+    for (size_t i = 0; i < m; ++i) expected_sum[i] += y.Value()[i];
+  }
+
+  // One column of scratch (m * 8 bytes) — the floor still guarantees a full
+  // reduction block per wave; anything smaller is clamped up.
+  for (const size_t scratch : {size_t{1}, m * sizeof(double) * 10,
+                               MeasurementMatrix::kDefaultBatchScratchBytes}) {
+    std::vector<double> sum, per;
+    ASSERT_TRUE(implicit.MultiplySparseBatch(views, &sum, &per, scratch).ok());
+    EXPECT_EQ(sum, expected_sum) << "scratch=" << scratch;
+    EXPECT_EQ(per, expected_per) << "scratch=" << scratch;
+  }
+
+  // Sum-only and per-slice-only modes agree with the combined call.
+  std::vector<double> sum_only;
+  ASSERT_TRUE(
+      implicit.MultiplySparseBatch(views, &sum_only, nullptr, 1).ok());
+  EXPECT_EQ(sum_only, expected_sum);
+  std::vector<double> per_only;
+  ASSERT_TRUE(
+      implicit.MultiplySparseBatch(views, nullptr, &per_only, 1).ok());
+  EXPECT_EQ(per_only, expected_per);
 }
 
 TEST(MeasurementMatrixTest, CachedBiasColumnMatchesFreshCompute) {

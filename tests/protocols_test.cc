@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
+#include "common/simd.h"
 #include "dist/all_protocol.h"
 #include "dist/cs_protocol.h"
 #include "dist/kplusdelta_protocol.h"
@@ -13,6 +15,29 @@
 
 namespace csod::dist {
 namespace {
+
+// Restore the parallelism limit / SIMD dispatch level on scope exit, even
+// when an assertion fails mid-test.
+class ScopedParallelismLimit {
+ public:
+  explicit ScopedParallelismLimit(size_t limit) : previous_(GetParallelismLimit()) {
+    SetParallelismLimit(limit);
+  }
+  ~ScopedParallelismLimit() { SetParallelismLimit(previous_); }
+
+ private:
+  size_t previous_;
+};
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level)
+      : previous_(simd::SetLevelForTesting(level)) {}
+  ~ScopedSimdLevel() { simd::SetLevelForTesting(previous_); }
+
+ private:
+  simd::Level previous_;
+};
 
 // Builds a cluster holding a majority-dominated global vector split with
 // the given strategy.
@@ -260,6 +285,45 @@ TEST(CsProtocolTest, DeterministicAcrossRuns) {
     EXPECT_EQ(a.outliers[i].value, b.outliers[i].value);
   }
   EXPECT_EQ(comm_a.bytes_total(), comm_b.bytes_total());
+}
+
+TEST(CsProtocolTest, BitIdenticalAcrossLimitsAndSimdLevels) {
+  // The fault-free path now runs through the batched SIMD-dispatched
+  // sketching kernel; the detection result must not depend on the thread
+  // limit or on which ISA path the dispatcher picked.
+  TestSetup setup = MakeSetup(500, 10, 4, 5,
+                              workload::PartitionStrategy::kSkewedSplit, 41);
+  CsProtocolOptions options;
+  options.m = 150;
+  options.seed = 7;
+  options.iterations = 14;
+
+  auto run = [&] {
+    CsOutlierProtocol protocol(options);
+    CommStats comm;
+    return protocol.Run(*setup.cluster, 5, &comm).MoveValue();
+  };
+
+  outlier::OutlierSet reference;
+  {
+    ScopedParallelismLimit serial(1);
+    ScopedSimdLevel portable(simd::Level::kPortable);
+    reference = run();
+  }
+  for (size_t limit : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (simd::Level level : {simd::Level::kPortable, simd::Level::kAvx2}) {
+      ScopedParallelismLimit scoped_limit(limit);
+      ScopedSimdLevel scoped_level(level);
+      const outlier::OutlierSet got = run();
+      EXPECT_EQ(got.mode, reference.mode)
+          << "limit=" << limit << " level=" << simd::LevelName(level);
+      ASSERT_EQ(got.outliers.size(), reference.outliers.size());
+      for (size_t i = 0; i < got.outliers.size(); ++i) {
+        EXPECT_EQ(got.outliers[i].key_index, reference.outliers[i].key_index);
+        EXPECT_EQ(got.outliers[i].value, reference.outliers[i].value);
+      }
+    }
+  }
 }
 
 TEST(CsProtocolTest, LastRecoveryExposed) {
