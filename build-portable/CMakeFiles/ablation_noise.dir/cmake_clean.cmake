@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noise.dir/bench/ablation_noise.cc.o"
+  "CMakeFiles/ablation_noise.dir/bench/ablation_noise.cc.o.d"
+  "bench/ablation_noise"
+  "bench/ablation_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recovery.dir/bench/ablation_recovery.cc.o"
+  "CMakeFiles/ablation_recovery.dir/bench/ablation_recovery.cc.o.d"
+  "bench/ablation_recovery"
+  "bench/ablation_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

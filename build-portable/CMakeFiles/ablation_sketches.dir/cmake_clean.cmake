@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sketches.dir/bench/ablation_sketches.cc.o"
+  "CMakeFiles/ablation_sketches.dir/bench/ablation_sketches.cc.o.d"
+  "bench/ablation_sketches"
+  "bench/ablation_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

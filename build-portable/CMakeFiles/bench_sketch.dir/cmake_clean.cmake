@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch.dir/bench/bench_sketch.cc.o"
+  "CMakeFiles/bench_sketch.dir/bench/bench_sketch.cc.o.d"
+  "bench/bench_sketch"
+  "bench/bench_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjectures.dir/bench/conjectures.cc.o"
+  "CMakeFiles/conjectures.dir/bench/conjectures.cc.o.d"
+  "bench/conjectures"
+  "bench/conjectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

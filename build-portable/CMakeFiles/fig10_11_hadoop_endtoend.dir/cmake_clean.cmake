@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_hadoop_endtoend.dir/bench/fig10_11_hadoop_endtoend.cc.o"
+  "CMakeFiles/fig10_11_hadoop_endtoend.dir/bench/fig10_11_hadoop_endtoend.cc.o.d"
+  "bench/fig10_11_hadoop_endtoend"
+  "bench/fig10_11_hadoop_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_hadoop_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

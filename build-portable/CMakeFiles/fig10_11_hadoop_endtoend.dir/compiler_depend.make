@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_11_hadoop_endtoend.
+# This may be replaced when dependencies are built.

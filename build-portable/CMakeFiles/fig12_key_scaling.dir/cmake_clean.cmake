@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_key_scaling.dir/bench/fig12_key_scaling.cc.o"
+  "CMakeFiles/fig12_key_scaling.dir/bench/fig12_key_scaling.cc.o.d"
+  "bench/fig12_key_scaling"
+  "bench/fig12_key_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_key_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_exact_recovery.dir/bench/fig4a_exact_recovery.cc.o"
+  "CMakeFiles/fig4a_exact_recovery.dir/bench/fig4a_exact_recovery.cc.o.d"
+  "bench/fig4a_exact_recovery"
+  "bench/fig4a_exact_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_exact_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

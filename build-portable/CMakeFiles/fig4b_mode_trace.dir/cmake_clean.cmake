@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_mode_trace.dir/bench/fig4b_mode_trace.cc.o"
+  "CMakeFiles/fig4b_mode_trace.dir/bench/fig4b_mode_trace.cc.o.d"
+  "bench/fig4b_mode_trace"
+  "bench/fig4b_mode_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_mode_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_powerlaw_errors.dir/bench/fig5_6_powerlaw_errors.cc.o"
+  "CMakeFiles/fig5_6_powerlaw_errors.dir/bench/fig5_6_powerlaw_errors.cc.o.d"
+  "bench/fig5_6_powerlaw_errors"
+  "bench/fig5_6_powerlaw_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_powerlaw_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_8_production_errors.dir/bench/fig7_8_production_errors.cc.o"
+  "CMakeFiles/fig7_8_production_errors.dir/bench/fig7_8_production_errors.cc.o.d"
+  "bench/fig7_8_production_errors"
+  "bench/fig7_8_production_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_production_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

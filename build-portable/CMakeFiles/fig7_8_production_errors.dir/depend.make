@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_8_production_errors.
+# This may be replaced when dependencies are built.

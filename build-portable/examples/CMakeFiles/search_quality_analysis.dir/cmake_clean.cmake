@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_quality_analysis.dir/search_quality_analysis.cpp.o"
+  "CMakeFiles/search_quality_analysis.dir/search_quality_analysis.cpp.o.d"
+  "search_quality_analysis"
+  "search_quality_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_quality_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

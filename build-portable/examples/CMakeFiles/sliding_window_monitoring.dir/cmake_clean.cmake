@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window_monitoring.dir/sliding_window_monitoring.cpp.o"
+  "CMakeFiles/sliding_window_monitoring.dir/sliding_window_monitoring.cpp.o.d"
+  "sliding_window_monitoring"
+  "sliding_window_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_outlier_query.dir/sql_outlier_query.cpp.o"
+  "CMakeFiles/sql_outlier_query.dir/sql_outlier_query.cpp.o.d"
+  "sql_outlier_query"
+  "sql_outlier_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_outlier_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

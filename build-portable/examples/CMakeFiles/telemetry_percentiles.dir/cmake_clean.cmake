@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_percentiles.dir/telemetry_percentiles.cpp.o"
+  "CMakeFiles/telemetry_percentiles.dir/telemetry_percentiles.cpp.o.d"
+  "telemetry_percentiles"
+  "telemetry_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

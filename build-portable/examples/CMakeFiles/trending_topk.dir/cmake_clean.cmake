@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trending_topk.dir/trending_topk.cpp.o"
+  "CMakeFiles/trending_topk.dir/trending_topk.cpp.o.d"
+  "trending_topk"
+  "trending_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trending_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

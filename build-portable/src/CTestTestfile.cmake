@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-portable/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("cs")
+subdirs("outlier")
+subdirs("workload")
+subdirs("dist")
+subdirs("sketch")
+subdirs("mapreduce")
+subdirs("core")
+subdirs("query")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_common.dir/flags.cc.o"
+  "CMakeFiles/csod_common.dir/flags.cc.o.d"
+  "CMakeFiles/csod_common.dir/parallel.cc.o"
+  "CMakeFiles/csod_common.dir/parallel.cc.o.d"
+  "CMakeFiles/csod_common.dir/simd.cc.o"
+  "CMakeFiles/csod_common.dir/simd.cc.o.d"
+  "CMakeFiles/csod_common.dir/status.cc.o"
+  "CMakeFiles/csod_common.dir/status.cc.o.d"
+  "CMakeFiles/csod_common.dir/thread_pool.cc.o"
+  "CMakeFiles/csod_common.dir/thread_pool.cc.o.d"
+  "libcsod_common.a"
+  "libcsod_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_core.dir/detector.cc.o"
+  "CMakeFiles/csod_core.dir/detector.cc.o.d"
+  "CMakeFiles/csod_core.dir/windowed_detector.cc.o"
+  "CMakeFiles/csod_core.dir/windowed_detector.cc.o.d"
+  "libcsod_core.a"
+  "libcsod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

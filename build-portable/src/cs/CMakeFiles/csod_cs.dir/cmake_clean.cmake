@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_cs.dir/basis_pursuit.cc.o"
+  "CMakeFiles/csod_cs.dir/basis_pursuit.cc.o.d"
+  "CMakeFiles/csod_cs.dir/bomp.cc.o"
+  "CMakeFiles/csod_cs.dir/bomp.cc.o.d"
+  "CMakeFiles/csod_cs.dir/compressor.cc.o"
+  "CMakeFiles/csod_cs.dir/compressor.cc.o.d"
+  "CMakeFiles/csod_cs.dir/cosamp.cc.o"
+  "CMakeFiles/csod_cs.dir/cosamp.cc.o.d"
+  "CMakeFiles/csod_cs.dir/dictionary.cc.o"
+  "CMakeFiles/csod_cs.dir/dictionary.cc.o.d"
+  "CMakeFiles/csod_cs.dir/measurement_matrix.cc.o"
+  "CMakeFiles/csod_cs.dir/measurement_matrix.cc.o.d"
+  "CMakeFiles/csod_cs.dir/omp.cc.o"
+  "CMakeFiles/csod_cs.dir/omp.cc.o.d"
+  "CMakeFiles/csod_cs.dir/rip.cc.o"
+  "CMakeFiles/csod_cs.dir/rip.cc.o.d"
+  "libcsod_cs.a"
+  "libcsod_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

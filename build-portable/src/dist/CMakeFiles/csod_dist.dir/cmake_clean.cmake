@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_dist.dir/adaptive_cs_protocol.cc.o"
+  "CMakeFiles/csod_dist.dir/adaptive_cs_protocol.cc.o.d"
+  "CMakeFiles/csod_dist.dir/all_protocol.cc.o"
+  "CMakeFiles/csod_dist.dir/all_protocol.cc.o.d"
+  "CMakeFiles/csod_dist.dir/cluster.cc.o"
+  "CMakeFiles/csod_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/csod_dist.dir/comm.cc.o"
+  "CMakeFiles/csod_dist.dir/comm.cc.o.d"
+  "CMakeFiles/csod_dist.dir/cs_protocol.cc.o"
+  "CMakeFiles/csod_dist.dir/cs_protocol.cc.o.d"
+  "CMakeFiles/csod_dist.dir/fault.cc.o"
+  "CMakeFiles/csod_dist.dir/fault.cc.o.d"
+  "CMakeFiles/csod_dist.dir/kplusdelta_protocol.cc.o"
+  "CMakeFiles/csod_dist.dir/kplusdelta_protocol.cc.o.d"
+  "CMakeFiles/csod_dist.dir/randomized_max.cc.o"
+  "CMakeFiles/csod_dist.dir/randomized_max.cc.o.d"
+  "CMakeFiles/csod_dist.dir/topk_protocols.cc.o"
+  "CMakeFiles/csod_dist.dir/topk_protocols.cc.o.d"
+  "CMakeFiles/csod_dist.dir/wire_format.cc.o"
+  "CMakeFiles/csod_dist.dir/wire_format.cc.o.d"
+  "libcsod_dist.a"
+  "libcsod_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_la.dir/incremental_qr.cc.o"
+  "CMakeFiles/csod_la.dir/incremental_qr.cc.o.d"
+  "CMakeFiles/csod_la.dir/matrix.cc.o"
+  "CMakeFiles/csod_la.dir/matrix.cc.o.d"
+  "CMakeFiles/csod_la.dir/vector_ops.cc.o"
+  "CMakeFiles/csod_la.dir/vector_ops.cc.o.d"
+  "libcsod_la.a"
+  "libcsod_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

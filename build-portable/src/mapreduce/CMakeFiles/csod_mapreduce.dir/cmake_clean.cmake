@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_mapreduce.dir/cost_model.cc.o"
+  "CMakeFiles/csod_mapreduce.dir/cost_model.cc.o.d"
+  "CMakeFiles/csod_mapreduce.dir/jobs.cc.o"
+  "CMakeFiles/csod_mapreduce.dir/jobs.cc.o.d"
+  "libcsod_mapreduce.a"
+  "libcsod_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_outlier.dir/aggregates.cc.o"
+  "CMakeFiles/csod_outlier.dir/aggregates.cc.o.d"
+  "CMakeFiles/csod_outlier.dir/metrics.cc.o"
+  "CMakeFiles/csod_outlier.dir/metrics.cc.o.d"
+  "CMakeFiles/csod_outlier.dir/outlier.cc.o"
+  "CMakeFiles/csod_outlier.dir/outlier.cc.o.d"
+  "libcsod_outlier.a"
+  "libcsod_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_query.dir/executor.cc.o"
+  "CMakeFiles/csod_query.dir/executor.cc.o.d"
+  "CMakeFiles/csod_query.dir/query.cc.o"
+  "CMakeFiles/csod_query.dir/query.cc.o.d"
+  "libcsod_query.a"
+  "libcsod_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_sketch.dir/count_min.cc.o"
+  "CMakeFiles/csod_sketch.dir/count_min.cc.o.d"
+  "CMakeFiles/csod_sketch.dir/count_sketch.cc.o"
+  "CMakeFiles/csod_sketch.dir/count_sketch.cc.o.d"
+  "CMakeFiles/csod_sketch.dir/hyperloglog.cc.o"
+  "CMakeFiles/csod_sketch.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/csod_sketch.dir/sketch_protocols.cc.o"
+  "CMakeFiles/csod_sketch.dir/sketch_protocols.cc.o.d"
+  "libcsod_sketch.a"
+  "libcsod_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

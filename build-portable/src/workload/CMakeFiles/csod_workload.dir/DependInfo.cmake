@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/csod_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/csod_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/key_dictionary.cc" "src/workload/CMakeFiles/csod_workload.dir/key_dictionary.cc.o" "gcc" "src/workload/CMakeFiles/csod_workload.dir/key_dictionary.cc.o.d"
+  "/root/repo/src/workload/partitioner.cc" "src/workload/CMakeFiles/csod_workload.dir/partitioner.cc.o" "gcc" "src/workload/CMakeFiles/csod_workload.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-portable/src/cs/CMakeFiles/csod_cs.dir/DependInfo.cmake"
+  "/root/repo/build-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  "/root/repo/build-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_workload.dir/generators.cc.o"
+  "CMakeFiles/csod_workload.dir/generators.cc.o.d"
+  "CMakeFiles/csod_workload.dir/key_dictionary.cc.o"
+  "CMakeFiles/csod_workload.dir/key_dictionary.cc.o.d"
+  "CMakeFiles/csod_workload.dir/partitioner.cc.o"
+  "CMakeFiles/csod_workload.dir/partitioner.cc.o.d"
+  "libcsod_workload.a"
+  "libcsod_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

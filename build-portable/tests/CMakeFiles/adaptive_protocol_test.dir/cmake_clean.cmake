@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_protocol_test.dir/adaptive_protocol_test.cc.o"
+  "CMakeFiles/adaptive_protocol_test.dir/adaptive_protocol_test.cc.o.d"
+  "adaptive_protocol_test"
+  "adaptive_protocol_test.pdb"
+  "adaptive_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

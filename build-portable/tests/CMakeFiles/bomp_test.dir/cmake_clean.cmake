@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bomp_test.dir/bomp_test.cc.o"
+  "CMakeFiles/bomp_test.dir/bomp_test.cc.o.d"
+  "bomp_test"
+  "bomp_test.pdb"
+  "bomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

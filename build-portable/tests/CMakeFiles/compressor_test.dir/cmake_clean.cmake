@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_test.dir/compressor_test.cc.o"
+  "CMakeFiles/compressor_test.dir/compressor_test.cc.o.d"
+  "compressor_test"
+  "compressor_test.pdb"
+  "compressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

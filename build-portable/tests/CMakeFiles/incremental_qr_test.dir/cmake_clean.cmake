@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_qr_test.dir/incremental_qr_test.cc.o"
+  "CMakeFiles/incremental_qr_test.dir/incremental_qr_test.cc.o.d"
+  "incremental_qr_test"
+  "incremental_qr_test.pdb"
+  "incremental_qr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_dictionary_test.dir/key_dictionary_test.cc.o"
+  "CMakeFiles/key_dictionary_test.dir/key_dictionary_test.cc.o.d"
+  "key_dictionary_test"
+  "key_dictionary_test.pdb"
+  "key_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

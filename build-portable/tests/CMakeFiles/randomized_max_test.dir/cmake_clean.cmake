@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_max_test.dir/randomized_max_test.cc.o"
+  "CMakeFiles/randomized_max_test.dir/randomized_max_test.cc.o.d"
+  "randomized_max_test"
+  "randomized_max_test.pdb"
+  "randomized_max_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_max_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

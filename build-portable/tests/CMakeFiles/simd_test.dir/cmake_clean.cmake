@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_test.dir/simd_test.cc.o"
+  "CMakeFiles/simd_test.dir/simd_test.cc.o.d"
+  "simd_test"
+  "simd_test.pdb"
+  "simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

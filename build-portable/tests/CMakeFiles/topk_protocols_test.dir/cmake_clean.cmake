@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_protocols_test.dir/topk_protocols_test.cc.o"
+  "CMakeFiles/topk_protocols_test.dir/topk_protocols_test.cc.o.d"
+  "topk_protocols_test"
+  "topk_protocols_test.pdb"
+  "topk_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_detector_test.dir/windowed_detector_test.cc.o"
+  "CMakeFiles/windowed_detector_test.dir/windowed_detector_test.cc.o.d"
+  "windowed_detector_test"
+  "windowed_detector_test.pdb"
+  "windowed_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

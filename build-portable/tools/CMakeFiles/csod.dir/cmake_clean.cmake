@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod.dir/csod_cli.cc.o"
+  "CMakeFiles/csod.dir/csod_cli.cc.o.d"
+  "csod"
+  "csod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csod_tools.dir/cli_commands.cc.o"
+  "CMakeFiles/csod_tools.dir/cli_commands.cc.o.d"
+  "libcsod_tools.a"
+  "libcsod_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csod_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/basis_pursuit.cc" "src/cs/CMakeFiles/csod_cs.dir/basis_pursuit.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/basis_pursuit.cc.o.d"
+  "/root/repo/src/cs/bomp.cc" "src/cs/CMakeFiles/csod_cs.dir/bomp.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/bomp.cc.o.d"
+  "/root/repo/src/cs/compressor.cc" "src/cs/CMakeFiles/csod_cs.dir/compressor.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/compressor.cc.o.d"
+  "/root/repo/src/cs/cosamp.cc" "src/cs/CMakeFiles/csod_cs.dir/cosamp.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/cosamp.cc.o.d"
+  "/root/repo/src/cs/dictionary.cc" "src/cs/CMakeFiles/csod_cs.dir/dictionary.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/dictionary.cc.o.d"
+  "/root/repo/src/cs/measurement_matrix.cc" "src/cs/CMakeFiles/csod_cs.dir/measurement_matrix.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/measurement_matrix.cc.o.d"
+  "/root/repo/src/cs/omp.cc" "src/cs/CMakeFiles/csod_cs.dir/omp.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/omp.cc.o.d"
+  "/root/repo/src/cs/rip.cc" "src/cs/CMakeFiles/csod_cs.dir/rip.cc.o" "gcc" "src/cs/CMakeFiles/csod_cs.dir/rip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/adaptive_cs_protocol.cc" "src/dist/CMakeFiles/csod_dist.dir/adaptive_cs_protocol.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/adaptive_cs_protocol.cc.o.d"
+  "/root/repo/src/dist/all_protocol.cc" "src/dist/CMakeFiles/csod_dist.dir/all_protocol.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/all_protocol.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/dist/CMakeFiles/csod_dist.dir/cluster.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/dist/comm.cc" "src/dist/CMakeFiles/csod_dist.dir/comm.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/comm.cc.o.d"
+  "/root/repo/src/dist/cs_protocol.cc" "src/dist/CMakeFiles/csod_dist.dir/cs_protocol.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/cs_protocol.cc.o.d"
+  "/root/repo/src/dist/fault.cc" "src/dist/CMakeFiles/csod_dist.dir/fault.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/fault.cc.o.d"
+  "/root/repo/src/dist/kplusdelta_protocol.cc" "src/dist/CMakeFiles/csod_dist.dir/kplusdelta_protocol.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/kplusdelta_protocol.cc.o.d"
+  "/root/repo/src/dist/randomized_max.cc" "src/dist/CMakeFiles/csod_dist.dir/randomized_max.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/randomized_max.cc.o.d"
+  "/root/repo/src/dist/topk_protocols.cc" "src/dist/CMakeFiles/csod_dist.dir/topk_protocols.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/topk_protocols.cc.o.d"
+  "/root/repo/src/dist/wire_format.cc" "src/dist/CMakeFiles/csod_dist.dir/wire_format.cc.o" "gcc" "src/dist/CMakeFiles/csod_dist.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan-portable/src/outlier/CMakeFiles/csod_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/cs/CMakeFiles/csod_cs.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/outlier/aggregates.cc" "src/outlier/CMakeFiles/csod_outlier.dir/aggregates.cc.o" "gcc" "src/outlier/CMakeFiles/csod_outlier.dir/aggregates.cc.o.d"
+  "/root/repo/src/outlier/metrics.cc" "src/outlier/CMakeFiles/csod_outlier.dir/metrics.cc.o" "gcc" "src/outlier/CMakeFiles/csod_outlier.dir/metrics.cc.o.d"
+  "/root/repo/src/outlier/outlier.cc" "src/outlier/CMakeFiles/csod_outlier.dir/outlier.cc.o" "gcc" "src/outlier/CMakeFiles/csod_outlier.dir/outlier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan-portable/src/cs/CMakeFiles/csod_cs.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/count_min.cc" "src/sketch/CMakeFiles/csod_sketch.dir/count_min.cc.o" "gcc" "src/sketch/CMakeFiles/csod_sketch.dir/count_min.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/sketch/CMakeFiles/csod_sketch.dir/count_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/csod_sketch.dir/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/sketch/CMakeFiles/csod_sketch.dir/hyperloglog.cc.o" "gcc" "src/sketch/CMakeFiles/csod_sketch.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/sketch_protocols.cc" "src/sketch/CMakeFiles/csod_sketch.dir/sketch_protocols.cc.o" "gcc" "src/sketch/CMakeFiles/csod_sketch.dir/sketch_protocols.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan-portable/src/dist/CMakeFiles/csod_dist.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/outlier/CMakeFiles/csod_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/cs/CMakeFiles/csod_cs.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/measurement_matrix_test.cc" "tests/CMakeFiles/measurement_matrix_test.dir/measurement_matrix_test.cc.o" "gcc" "tests/CMakeFiles/measurement_matrix_test.dir/measurement_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan-portable/src/query/CMakeFiles/csod_query.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/core/CMakeFiles/csod_core.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/mapreduce/CMakeFiles/csod_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/sketch/CMakeFiles/csod_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/dist/CMakeFiles/csod_dist.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/workload/CMakeFiles/csod_workload.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/outlier/CMakeFiles/csod_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/cs/CMakeFiles/csod_cs.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/la/CMakeFiles/csod_la.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan-portable/src/common/CMakeFiles/csod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
