@@ -15,7 +15,14 @@
 // derived arithmetically from --seed; two runs with equal flags produce
 // byte-identical files — scripts/run_bench_faults.sh diffs them).
 //
-// Flags: --n --s --k --nodes --m --trials --seed --drop-list --out --quick
+// --telemetry-json=FILE additionally attaches one obs::Telemetry sink to
+// every protocol run and writes its deterministic snapshot; the JSON's
+// "collection_totals" sums retries/exclusions over the same runs so
+// scripts/run_telemetry_check.sh can cross-check the snapshot's
+// "comm.retries"/"comm.excluded_nodes" counters against the reports.
+//
+// Flags: --n --s --k --nodes --m --trials --seed --drop-list --out
+//        --telemetry-json --quick
 
 #include <cmath>
 #include <cstdio>
@@ -26,6 +33,7 @@
 #include "bench_util.h"
 #include "common/flags.h"
 #include "dist/cs_protocol.h"
+#include "obs/telemetry.h"
 #include "outlier/metrics.h"
 #include "workload/generators.h"
 #include "workload/partitioner.h"
@@ -131,6 +139,16 @@ int main(int argc, char** argv) {
   const std::vector<int64_t> drop_list =
       flags.GetIntList("drop-list", {0, 5, 10, 20, 40});
   const std::string out_path = flags.GetString("out", "BENCH_faults.json");
+  const std::string telemetry_path = flags.GetString("telemetry-json", "");
+
+  // One sink across every protocol run of the sweep; null when the flag is
+  // off so the benchmark's hot paths keep the disabled-sink fast path.
+  obs::Telemetry telemetry;
+  obs::Telemetry* sink = telemetry_path.empty() ? nullptr : &telemetry;
+  // Summed CollectionReport numbers over the same runs the sink saw.
+  uint64_t total_retries = 0;
+  uint64_t total_excluded = 0;
+  uint64_t total_runs = 0;
 
   dist::CsProtocolOptions base;
   base.m = m;
@@ -154,9 +172,16 @@ int main(int argc, char** argv) {
     dist::CsProtocolOptions zero = base;
     zero.faults.seed = seed * 1000003;  // Seed set, every rate zero.
     dist::CsOutlierProtocol with_plan(zero);
+    plain.set_telemetry(sink);
+    with_plan.set_telemetry(sink);
     dist::CommStats comm_a, comm_b;
     auto a = plain.Run(*setup.cluster, k, &comm_a).MoveValue();
     auto b = with_plan.Run(*setup.cluster, k, &comm_b).MoveValue();
+    total_retries += plain.last_collection().retries +
+                     with_plan.last_collection().retries;
+    total_excluded += plain.last_collection().excluded_nodes.size() +
+                      with_plan.last_collection().excluded_nodes.size();
+    total_runs += 2;
     bit_identical = a.mode == b.mode &&
                     a.outliers.size() == b.outliers.size() &&
                     comm_a.bytes_total() == comm_b.bytes_total() &&
@@ -182,9 +207,13 @@ int main(int argc, char** argv) {
           seed * 1000003 + static_cast<uint64_t>(drop_percent) * 101 + t;
       options.faults.drop_rate = static_cast<double>(drop_percent) / 100.0;
       dist::CsOutlierProtocol protocol(options);
+      protocol.set_telemetry(sink);
       dist::CommStats comm;
       auto result = protocol.Run(*setup.cluster, k, &comm).MoveValue();
       const dist::CollectionReport& report = protocol.last_collection();
+      total_retries += report.retries;
+      total_excluded += report.excluded_nodes.size();
+      ++total_runs;
       acc.Accumulate(
           outlier::EvaluateDegradedRun(setup.truth, result, report.nodes_total,
                                        report.excluded_nodes.size(),
@@ -211,9 +240,13 @@ int main(int argc, char** argv) {
     options.faults.seed = seed * 1000003 + 7000 + t;
     options.faults.crash_nodes = {crashed};
     dist::CsOutlierProtocol protocol(options);
+    protocol.set_telemetry(sink);
     dist::CommStats comm;
     auto result = protocol.Run(*setup.cluster, k, &comm).MoveValue();
     const dist::CollectionReport& report = protocol.last_collection();
+    total_retries += report.retries;
+    total_excluded += report.excluded_nodes.size();
+    ++total_runs;
     crash_reported = crash_reported && report.excluded_nodes.size() == 1 &&
                      report.excluded_nodes[0] == crashed;
     crash_acc.Accumulate(
@@ -258,8 +291,24 @@ int main(int argc, char** argv) {
                "\"excluded_reported\": %s,\n",
                num_nodes, crash_reported ? "true" : "false");
   PrintJsonPoint(out, crash, "   ");
-  std::fprintf(out, "}\n}\n");
+  std::fprintf(out, "},\n");
+  std::fprintf(out,
+               "  \"collection_totals\": {\"runs\": %llu, \"retries\": %llu, "
+               "\"excluded_nodes\": %llu}\n}\n",
+               static_cast<unsigned long long>(total_runs),
+               static_cast<unsigned long long>(total_retries),
+               static_cast<unsigned long long>(total_excluded));
   std::fclose(out);
   std::printf("\nWrote %s\n", out_path.c_str());
+
+  if (sink != nullptr) {
+    const Status written = obs::WriteSnapshotJsonFile(*sink, telemetry_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %s\n", telemetry_path.c_str());
+  }
   return 0;
 }

@@ -9,7 +9,9 @@
 // over 8 data centers with skew and zero-sum cancellation noise.
 //
 // Default is a quarter-scale run (N/4, s/4); use --full for paper scale.
-// Flags: --trials --k-list --full --scale=4
+// --telemetry-json=FILE attaches one obs::Telemetry sink to every protocol
+// run and writes the deterministic snapshot (DESIGN.md §9).
+// Flags: --trials --k-list --full --scale=4 --telemetry-json
 
 #include <memory>
 #include <string>
@@ -21,6 +23,7 @@
 #include "dist/all_protocol.h"
 #include "dist/cs_protocol.h"
 #include "dist/kplusdelta_protocol.h"
+#include "obs/telemetry.h"
 #include "outlier/metrics.h"
 #include "workload/generators.h"
 #include "workload/partitioner.h"
@@ -84,6 +87,9 @@ int main(int argc, char** argv) {
   // Communication budget as % of ALL (the Figures' x axis).
   const std::vector<int64_t> percent_list =
       flags.GetIntList("percent-list", {1, 2, 3, 4, 5, 6, 7, 8, 10, 15});
+  const std::string telemetry_path = flags.GetString("telemetry-json", "");
+  obs::Telemetry telemetry;
+  obs::Telemetry* sink = telemetry_path.empty() ? nullptr : &telemetry;
 
   bench::Banner("Figures 7 & 8",
                 "EK / EV vs communication cost (normalized by ALL), "
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
     // Section 6.1.2 cost comparison: vectorized ALL vs kv-pair ALL.
     dist::AllTransmitProtocol all_vec(dist::AllEncoding::kVectorized);
     dist::AllTransmitProtocol all_kv(dist::AllEncoding::kKeyValue);
+    all_vec.set_telemetry(sink);
+    all_kv.set_telemetry(sink);
     dist::CommStats vec_comm, kv_comm;
     auto truth_any = all_vec.Run(*w.cluster, 5, &vec_comm).MoveValue();
     all_kv.Run(*w.cluster, 5, &kv_comm).Value();
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
           options.m = m;
           options.seed = 4000 + t * 977 + m;
           dist::CsOutlierProtocol protocol(options);
+          protocol.set_telemetry(sink);
           dist::CommStats comm;
           auto estimate = protocol.Run(*w.cluster, k, &comm).MoveValue();
           eks.push_back(outlier::ErrorOnKey(truth, estimate));
@@ -154,6 +163,7 @@ int main(int argc, char** argv) {
         kd_options.delta = budget_tuples - k;
         kd_options.seed = 600 + pct;
         dist::KPlusDeltaProtocol kd(kd_options);
+        kd.set_telemetry(sink);
         dist::CommStats kd_comm;
         auto kd_estimate = kd.Run(*w.cluster, k, &kd_comm).MoveValue();
         kd_ek.push_back(outlier::ErrorOnKey(truth, kd_estimate));
@@ -177,5 +187,15 @@ int main(int argc, char** argv) {
       "(k=5 earliest, k=20 needs more); K+delta stays at high error even "
       "with much larger budgets because local rankings on skewed "
       "partitions do not reflect the global aggregate.\n");
+
+  if (sink != nullptr) {
+    const Status written = obs::WriteSnapshotJsonFile(*sink, telemetry_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %s\n", telemetry_path.c_str());
+  }
   return 0;
 }

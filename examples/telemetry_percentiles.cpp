@@ -53,7 +53,8 @@ int main() {
   uint64_t wire_bytes = 0;
   for (const auto& slice : slices) {
     auto y = gateway_compressor.Compress(slice).MoveValue();
-    const std::string message = dist::EncodeMeasurement(y);  // On the wire.
+    // On the wire.
+    const std::string message = dist::EncodeMeasurement(y).MoveValue();
     wire_bytes += message.size();
     auto decoded = dist::DecodeMeasurement(message).MoveValue();
     monitor->AddSourceMeasurement(std::move(decoded)).Value();

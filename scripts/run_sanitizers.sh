@@ -42,5 +42,9 @@ cmake --build "$PORTABLE_BUILD_DIR" -j "$(nproc)" --target \
  ctest --output-on-failure -j "$(nproc)" \
    -R 'Simd|MeasurementMatrix|Compressor|SparseSlice')
 
+# Telemetry double-run determinism + CollectionReport cross-check, against
+# the sanitizer build so the instrumented hot paths also get race coverage.
+BUILD_DIR="$BUILD_DIR" "$ROOT/scripts/run_telemetry_check.sh" --quick
+
 # Keep the documentation's cross-links honest while we're at it.
 "$ROOT/scripts/check_docs_links.sh"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Telemetry determinism + cross-check (DESIGN.md §9):
+#  1. Runs the seeded fault-injection sweep twice with --telemetry-json and
+#     verifies the two deterministic snapshots are byte-identical (the same
+#     double-run contract BENCH_faults.json already carries).
+#  2. Cross-checks the snapshot's "comm.retries" / "comm.excluded_nodes"
+#     counters against the "collection_totals" block of the sweep's JSON:
+#     the telemetry layer and the CollectionReport plumbing count the same
+#     events through entirely different code paths, so a mismatch means
+#     one of them lost or double-counted an event.
+#
+# Usage: scripts/run_telemetry_check.sh [extra fault_sweep flags...]
+#   BUILD_DIR=<dir>   build directory (default: build)
+#   FAULT_SEED=<int>  fault seed (default: 1)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+SEED="${FAULT_SEED:-1}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target fault_sweep -j "$(nproc)"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR/bench/fault_sweep" --seed="$SEED" \
+  --out="$TMP/bench_a.json" --telemetry-json="$TMP/tele_a.json" "$@"
+"$BUILD_DIR/bench/fault_sweep" --seed="$SEED" \
+  --out="$TMP/bench_b.json" --telemetry-json="$TMP/tele_b.json" "$@" \
+  >/dev/null
+
+if ! diff -q "$TMP/tele_a.json" "$TMP/tele_b.json" >/dev/null; then
+  echo "FAIL: two seeded runs produced different telemetry snapshots" >&2
+  diff "$TMP/tele_a.json" "$TMP/tele_b.json" >&2 || true
+  exit 1
+fi
+echo "Telemetry determinism check passed: two runs are byte-identical."
+
+# Pull one integer field out of a JSON file by key name.
+json_int() {  # <file> <key>
+  grep -o "\"$2\": [0-9]*" "$1" | head -n 1 | grep -o '[0-9]*$'
+}
+
+TELE_RETRIES="$(json_int "$TMP/tele_a.json" comm.retries || echo 0)"
+TELE_EXCLUDED="$(json_int "$TMP/tele_a.json" comm.excluded_nodes || echo 0)"
+
+# Read the totals from the collection_totals line specifically, dodging
+# the per-point "retries" fields elsewhere in the sweep JSON.
+TOTALS_LINE="$(grep '"collection_totals"' "$TMP/bench_a.json")"
+REPORT_RETRIES="$(echo "$TOTALS_LINE" | grep -o '"retries": [0-9]*' | grep -o '[0-9]*$')"
+REPORT_EXCLUDED="$(echo "$TOTALS_LINE" | grep -o '"excluded_nodes": [0-9]*' | grep -o '[0-9]*$')"
+
+if [[ "$TELE_RETRIES" != "$REPORT_RETRIES" ]]; then
+  echo "FAIL: telemetry comm.retries = $TELE_RETRIES but" \
+       "collection_totals.retries = $REPORT_RETRIES" >&2
+  exit 1
+fi
+if [[ "$TELE_EXCLUDED" != "$REPORT_EXCLUDED" ]]; then
+  echo "FAIL: telemetry comm.excluded_nodes = $TELE_EXCLUDED but" \
+       "collection_totals.excluded_nodes = $REPORT_EXCLUDED" >&2
+  exit 1
+fi
+if [[ "$REPORT_RETRIES" == "0" ]]; then
+  echo "FAIL: the fault sweep recorded zero retries — instrumentation" \
+       "or fault injection is detached" >&2
+  exit 1
+fi
+echo "Cross-check passed: comm.retries = $TELE_RETRIES and" \
+     "comm.excluded_nodes = $TELE_EXCLUDED match collection_totals."

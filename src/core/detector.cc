@@ -15,7 +15,9 @@ DistributedOutlierDetector::DistributedOutlierDetector(
       matrix_(std::make_unique<cs::MeasurementMatrix>(
           options.m, options.n, options.seed, options.cache_budget_bytes)),
       compressor_(std::make_unique<cs::Compressor>(matrix_.get())),
-      global_y_(options.m, 0.0) {}
+      global_y_(options.m, 0.0) {
+  compressor_->set_telemetry(options.telemetry);
+}
 
 Result<std::unique_ptr<DistributedOutlierDetector>>
 DistributedOutlierDetector::Create(const DetectorOptions& options) {
@@ -113,6 +115,7 @@ Result<outlier::OutlierSet> DistributedOutlierDetector::DetectExcluding(
                                 : options_.iterations;
   cs::BompOptions bomp_options;
   bomp_options.max_iterations = iterations;
+  bomp_options.telemetry = options_.telemetry;
   CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery,
                         cs::RunBomp(*matrix_, partial_y, bomp_options));
   return outlier::KOutliersFromRecovery(recovery, k);
@@ -148,7 +151,8 @@ Status DistributedOutlierDetector::Save(std::ostream& out) const {
   out << options_.n << ' ' << options_.m << ' ' << options_.seed << ' '
       << options_.iterations << ' ' << sketches_.size() << '\n';
   for (const auto& [id, sketch] : sketches_) {
-    const std::string message = dist::EncodeMeasurement(sketch);
+    CSOD_ASSIGN_OR_RETURN(const std::string message,
+                          dist::EncodeMeasurement(sketch));
     out << id << ' ' << message.size() << '\n';
     out.write(message.data(), static_cast<std::streamsize>(message.size()));
     out << '\n';
@@ -211,6 +215,7 @@ Result<cs::BompResult> DistributedOutlierDetector::Recover(
   }
   cs::BompOptions bomp_options;
   bomp_options.max_iterations = iterations;
+  bomp_options.telemetry = options_.telemetry;
   return cs::RunBomp(*matrix_, global_y_, bomp_options);
 }
 

@@ -30,6 +30,9 @@ struct DetectorOptions {
   size_t iterations = 0;
   /// Dense-cache budget for Φ0.
   size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+  /// Telemetry sink (sketch + recovery instrumentation). Not serialized by
+  /// Save/Load. Null or disabled is free.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Identifier of a registered data source (node / data center).

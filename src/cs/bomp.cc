@@ -68,6 +68,7 @@ Result<BompResult> RunBomp(const MeasurementMatrix& matrix,
   if (options.max_iterations == 0) {
     return Status::InvalidArgument("RunBomp: max_iterations must be > 0");
   }
+  obs::TraceSpan span(options.telemetry, "bomp.recover");
   // Step 1 of Algorithm 1: extend the measurement matrix with the bias
   // column φ0 = (1/√N) Σ φ_i.
   ExtendedDictionary dictionary(&matrix);
@@ -77,6 +78,7 @@ Result<BompResult> RunBomp(const MeasurementMatrix& matrix,
   omp_options.residual_tolerance = options.residual_tolerance;
   omp_options.stop_on_residual_stagnation =
       options.stop_on_residual_stagnation;
+  omp_options.telemetry = options.telemetry;
 
   std::vector<double> mode_trace;
   const double inv_sqrt_n = 1.0 / std::sqrt(static_cast<double>(matrix.n()));
@@ -101,6 +103,16 @@ Result<BompResult> RunBomp(const MeasurementMatrix& matrix,
   BompResult result = BuildResult(omp, matrix.n(), /*bias_atom_present=*/true,
                                   /*known_mode=*/0.0);
   result.mode_trace = std::move(mode_trace);
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.telemetry->AddCounter("bomp.runs");
+    if (result.bias_selected) options.telemetry->AddCounter("bomp.bias_selected");
+    options.telemetry->RecordValue("bomp.iterations",
+                                   static_cast<double>(result.iterations));
+    options.telemetry->RecordValue("bomp.support_size",
+                                   static_cast<double>(result.entries.size()));
+    options.telemetry->RecordValue("bomp.final_residual_norm",
+                                   result.final_residual_norm);
+  }
   return result;
 }
 
@@ -129,6 +141,7 @@ Result<BompResult> RecoverWithKnownMode(const MeasurementMatrix& matrix,
   omp_options.residual_tolerance = options.residual_tolerance;
   omp_options.stop_on_residual_stagnation =
       options.stop_on_residual_stagnation;
+  omp_options.telemetry = options.telemetry;
 
   CSOD_ASSIGN_OR_RETURN(OmpResult omp, RunOmp(dictionary, shifted, omp_options));
   return BuildResult(omp, matrix.n(), /*bias_atom_present=*/false, known_mode);

@@ -1,5 +1,6 @@
 #include "cs/compressor.h"
 
+#include <cstdint>
 #include <string>
 
 #include "common/parallel.h"
@@ -42,28 +43,43 @@ SparseSlice SparseSlice::FromDense(const std::vector<double>& x) {
   return slice;
 }
 
+void Compressor::RecordBatch(
+    const std::vector<SparseVectorView>& views) const {
+  if (telemetry_ == nullptr || !telemetry_->enabled()) return;
+  uint64_t nnz = 0;
+  for (const SparseVectorView& v : views) nnz += v.nnz;
+  telemetry_->AddCounter("sketch.slices", views.size());
+  telemetry_->AddCounter("sketch.nnz", nnz);
+}
+
 Status Compressor::CompressAccumulate(
     const std::vector<const SparseSlice*>& slices,
     std::vector<double>* y_out) const {
+  obs::TraceSpan span(telemetry_, "sketch.batch");
   std::vector<SparseVectorView> views;
   views.reserve(slices.size());
   for (const SparseSlice* slice : slices) views.push_back(slice->View());
+  RecordBatch(views);
   return matrix_->MultiplySparseBatch(views, y_out);
 }
 
 Status Compressor::CompressAccumulate(const std::vector<SparseSlice>& slices,
                                       std::vector<double>* y_out) const {
+  obs::TraceSpan span(telemetry_, "sketch.batch");
   std::vector<SparseVectorView> views;
   views.reserve(slices.size());
   for (const SparseSlice& slice : slices) views.push_back(slice.View());
+  RecordBatch(views);
   return matrix_->MultiplySparseBatch(views, y_out);
 }
 
 Result<std::vector<std::vector<double>>> Compressor::CompressEach(
     const std::vector<const SparseSlice*>& slices) const {
+  obs::TraceSpan span(telemetry_, "sketch.batch");
   std::vector<SparseVectorView> views;
   views.reserve(slices.size());
   for (const SparseSlice* slice : slices) views.push_back(slice->View());
+  RecordBatch(views);
   std::vector<double> flat;
   CSOD_RETURN_NOT_OK(
       matrix_->MultiplySparseBatch(views, /*sum_out=*/nullptr, &flat));

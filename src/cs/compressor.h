@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "cs/measurement_matrix.h"
+#include "obs/telemetry.h"
 
 namespace csod::cs {
 
@@ -86,8 +87,15 @@ class Compressor {
   /// Measurement length M.
   size_t measurement_size() const { return matrix_->m(); }
 
+  /// Telemetry sink for batch sketching ("sketch.batch" span and
+  /// "sketch.slices"/"sketch.nnz" counters). Null or disabled is free.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
+  void RecordBatch(const std::vector<SparseVectorView>& views) const;
+
   const MeasurementMatrix* matrix_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace csod::cs

@@ -115,6 +115,11 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
     support = std::move(new_support);
     coefficients = std::move(new_coeffs);
     result.iterations = iter + 1;
+    if (options.telemetry != nullptr && options.telemetry->enabled()) {
+      options.telemetry->RecordValue("cosamp.residual_norm", residual_norm);
+      options.telemetry->RecordValue("cosamp.support_size",
+                                     static_cast<double>(support.size()));
+    }
 
     if (residual_norm <= options.residual_tolerance * y_norm) break;
     // Halting on stagnation (the same Section-5 remedy as OMP).
@@ -125,6 +130,13 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
   result.selected = std::move(support);
   result.coefficients = std::move(coefficients);
   result.final_residual_norm = la::Norm2(residual);
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.telemetry->AddCounter("cosamp.runs");
+    options.telemetry->RecordValue("cosamp.iterations",
+                                   static_cast<double>(result.iterations));
+    options.telemetry->RecordValue("cosamp.final_residual_norm",
+                                   result.final_residual_norm);
+  }
   return result;
 }
 

@@ -71,6 +71,13 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
     const double residual_norm = la::Norm2(residual);
     result.residual_norms.push_back(residual_norm);
     result.iterations = iter + 1;
+    if (options.telemetry != nullptr && options.telemetry->enabled()) {
+      // The per-iteration trajectory the paper plots (residual decay and
+      // support growth); recorded serially, so snapshots stay deterministic.
+      options.telemetry->RecordValue("omp.residual_norm", residual_norm);
+      options.telemetry->RecordValue(
+          "omp.support_size", static_cast<double>(result.selected.size()));
+    }
 
     std::vector<double> iteration_coeffs;
     if (options.solve_coefficients_each_iteration ||
@@ -106,6 +113,14 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
   }
   result.final_residual_norm =
       result.residual_norms.empty() ? y_norm : result.residual_norms.back();
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.telemetry->AddCounter("omp.runs");
+    options.telemetry->RecordValue("omp.iterations",
+                                   static_cast<double>(result.iterations));
+    if (result.stopped_by_stagnation) {
+      options.telemetry->AddCounter("omp.stagnation_stops");
+    }
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "cs/dictionary.h"
+#include "obs/telemetry.h"
 
 namespace csod::cs {
 
@@ -48,6 +49,10 @@ struct OmpOptions {
 
   /// Optional observer invoked after each iteration.
   std::function<void(const OmpIterationInfo&)> iteration_callback;
+
+  /// Telemetry sink for the iteration/residual trajectory (DESIGN.md §9:
+  /// "omp.*" histograms). Null or disabled costs one branch per iteration.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of an OMP run.

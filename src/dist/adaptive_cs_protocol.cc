@@ -27,6 +27,7 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
     return Status::FailedPrecondition("AdaptiveCsProtocol: empty cluster");
   }
 
+  obs::TraceSpan run_span(telemetry_, "protocol.adaptive");
   rounds_.clear();
   last_recovery_ = cs::BompResult{};
   const size_t n = cluster.key_space_size();
@@ -35,7 +36,8 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
                                 : options_.iterations;
 
   const FaultInjector injector(options_.faults);
-  Channel channel(comm, options_.faults.any() ? &injector : nullptr);
+  Channel channel(comm, options_.faults.any() ? &injector : nullptr,
+                  telemetry_);
   std::vector<NodeId> alive = cluster.NodeIds();
   last_collection_ = CollectionReport{};
   last_collection_.nodes_total = alive.size();
@@ -78,6 +80,7 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
     cs::MeasurementMatrix matrix(m, n, options_.seed,
                                  options_.cache_budget_bytes);
     cs::Compressor compressor(&matrix);
+    compressor.set_telemetry(telemetry_);
     std::vector<double> y;
     if (!options_.faults.any()) {
       // Fault-free fast path: fused compress-and-accumulate over every
@@ -98,6 +101,7 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
       for (NodeId id : alive) {
         CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
                               cluster.Slice(id));
+        obs::TraceSpan node_span(telemetry_, "sketch.node");
         CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
                               compressor.Compress(*slice));
         measurements.push_back(std::move(y_l));
@@ -108,6 +112,7 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::Run(const Cluster& cluster,
 
     cs::BompOptions bomp_options;
     bomp_options.max_iterations = iterations;
+    bomp_options.telemetry = telemetry_;
     CSOD_ASSIGN_OR_RETURN(last_recovery_, cs::RunBomp(matrix, y, bomp_options));
 
     const outlier::OutlierSet detected =

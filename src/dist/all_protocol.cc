@@ -12,7 +12,9 @@ Result<outlier::OutlierSet> AllTransmitProtocol::Run(const Cluster& cluster,
   if (cluster.num_nodes() == 0) {
     return Status::FailedPrecondition("AllTransmitProtocol: empty cluster");
   }
-  Channel channel(comm);  // ALL has no fault tolerance: perfect network.
+  obs::TraceSpan run_span(telemetry_, "protocol.all");
+  // ALL has no fault tolerance: perfect network.
+  Channel channel(comm, /*injector=*/nullptr, telemetry_);
   channel.BeginRound();
   for (NodeId id : cluster.NodeIds()) {
     CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));

@@ -2,24 +2,42 @@
 
 namespace csod::dist {
 
+void Channel::Mirror(const std::string& phase, uint64_t tuples,
+                     uint64_t bytes_per_tuple) {
+  telemetry_->AddCounter("comm.bytes." + phase, tuples * bytes_per_tuple);
+  telemetry_->AddCounter("comm.tuples." + phase, tuples);
+  telemetry_->AddCounter("comm.msgs." + phase);
+}
+
 Delivery Channel::Send(NodeId node, const std::string& phase, uint64_t tuples,
                        uint64_t bytes_per_tuple, uint64_t attempt) {
+  const bool trace = telemetry_->enabled();
   Delivery d;
   if (injector_ != nullptr) d = injector_->Decide(node, round_, attempt);
   ++fault_stats_.attempts;
   if (d.crashed) {
     // Crash-before-send: nothing left the node, no bytes on the wire.
     ++fault_stats_.crashed;
+    if (trace) telemetry_->AddCounter("fault.crashed");
     return d;
   }
   stats_->Account(phase, tuples, bytes_per_tuple);
-  if (d.dropped) ++fault_stats_.dropped;
-  if (d.delay_ticks > 0) ++fault_stats_.delayed;
+  if (trace) Mirror(phase, tuples, bytes_per_tuple);
+  if (d.dropped) {
+    ++fault_stats_.dropped;
+    if (trace) telemetry_->AddCounter("fault.dropped");
+  }
+  if (d.delay_ticks > 0) {
+    ++fault_stats_.delayed;
+    if (trace) telemetry_->AddCounter("fault.delayed");
+  }
   if (d.duplicated) {
     // The duplicate copy is real wire traffic; the coordinator dedups by
     // (node, round, attempt) so it can never double-add a measurement.
     stats_->Account(phase, tuples, bytes_per_tuple);
+    if (trace) Mirror(phase, tuples, bytes_per_tuple);
     ++fault_stats_.duplicates;
+    if (trace) telemetry_->AddCounter("fault.duplicates");
   }
   return d;
 }
@@ -38,6 +56,7 @@ std::vector<bool> CollectWithRetry(Channel* channel, const RetryPolicy& retry,
         // one key tuple on the reliable control plane.
         channel->Control("retry-request", 1, kValueBytes);
         if (report != nullptr) ++report->retries;
+        channel->telemetry()->AddCounter("comm.retries");
       }
       const Delivery d =
           channel->Send(nodes[i], attempt == 0 ? phase : retry_phase, tuples,
@@ -47,8 +66,9 @@ std::vector<bool> CollectWithRetry(Channel* channel, const RetryPolicy& retry,
         break;
       }
     }
-    if (!delivered[i] && report != nullptr) {
-      report->excluded_nodes.push_back(nodes[i]);
+    if (!delivered[i]) {
+      if (report != nullptr) report->excluded_nodes.push_back(nodes[i]);
+      channel->telemetry()->AddCounter("comm.excluded_nodes");
     }
   }
   return delivered;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dist/fault.h"
+#include "obs/telemetry.h"
 
 namespace csod::dist {
 
@@ -67,15 +68,22 @@ class CommStats {
 class Channel {
  public:
   /// `stats` must not be null and must outlive the channel; `injector`
-  /// may be null (perfect network) and is borrowed, not owned.
-  explicit Channel(CommStats* stats, const FaultInjector* injector = nullptr)
-      : stats_(stats), injector_(injector) {}
+  /// may be null (perfect network) and is borrowed, not owned. `telemetry`
+  /// mirrors the accounting into "comm.*" / "fault.*" counters; null or
+  /// `obs::Telemetry::Disabled()` costs one predictable branch per call.
+  explicit Channel(CommStats* stats, const FaultInjector* injector = nullptr,
+                   obs::Telemetry* telemetry = nullptr)
+      : stats_(stats),
+        injector_(injector),
+        telemetry_(telemetry != nullptr ? telemetry
+                                        : obs::Telemetry::Disabled()) {}
 
   /// Starts a communication round; fault decisions are keyed by the
   /// current round so multi-round protocols re-draw per round.
   void BeginRound() {
     stats_->BeginRound();
     round_ = stats_->rounds() == 0 ? 0 : stats_->rounds() - 1;
+    telemetry_->AddCounter("comm.rounds");
   }
 
   /// Transmits `tuples` tuples of `bytes_per_tuple` bytes from `node`
@@ -90,6 +98,7 @@ class Channel {
   void Control(const std::string& phase, uint64_t tuples,
                uint64_t bytes_per_tuple) {
     stats_->Account(phase, tuples, bytes_per_tuple);
+    if (telemetry_->enabled()) Mirror(phase, tuples, bytes_per_tuple);
   }
 
   /// Injected-fault event counters of this channel's lifetime.
@@ -100,9 +109,18 @@ class Channel {
 
   CommStats* stats() { return stats_; }
 
+  /// The telemetry sink (never null; `Disabled()` when none was attached).
+  obs::Telemetry* telemetry() { return telemetry_; }
+
  private:
+  // Mirrors one accounted transmission into the per-phase counters.
+  // Only called when telemetry is enabled.
+  void Mirror(const std::string& phase, uint64_t tuples,
+              uint64_t bytes_per_tuple);
+
   CommStats* stats_;
   const FaultInjector* injector_;
+  obs::Telemetry* telemetry_;
   uint64_t round_ = 0;
   FaultStats fault_stats_;
 };

@@ -20,6 +20,7 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
     return Status::FailedPrecondition("CsOutlierProtocol: empty cluster");
   }
 
+  obs::TraceSpan run_span(telemetry_, "protocol.cs");
   const size_t n = cluster.key_space_size();
   // Every node derives the same Φ0 from the consensus seed. In the
   // simulator we instantiate it once and share it; determinism is what
@@ -28,11 +29,13 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
   cs::MeasurementMatrix matrix(options_.m, n, options_.seed,
                                options_.cache_budget_bytes);
   cs::Compressor compressor(&matrix);
+  compressor.set_telemetry(telemetry_);
 
   // Phase 1+2: local compression and measurement transmission, through
   // the fault-injecting channel with coordinator-side retries.
   const FaultInjector injector(options_.faults);
-  Channel channel(comm, options_.faults.any() ? &injector : nullptr);
+  Channel channel(comm, options_.faults.any() ? &injector : nullptr,
+                  telemetry_);
   channel.BeginRound();
   const std::vector<NodeId> ids = cluster.NodeIds();
   last_collection_ = CollectionReport{};
@@ -74,6 +77,7 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
       if (!delivered[i]) continue;
       CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice,
                             cluster.Slice(ids[i]));
+      obs::TraceSpan node_span(telemetry_, "sketch.node");
       CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
                             compressor.Compress(*slice));
       measurements.push_back(std::move(y_l));
@@ -92,6 +96,7 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
   bomp_options.max_iterations = options_.iterations == 0
                                     ? cs::DefaultIterationsForK(k)
                                     : options_.iterations;
+  bomp_options.telemetry = telemetry_;
   CSOD_ASSIGN_OR_RETURN(last_recovery_, cs::RunBomp(matrix, y, bomp_options));
   return outlier::KOutliersFromRecovery(last_recovery_, k);
 }

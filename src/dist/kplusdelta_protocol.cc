@@ -25,9 +25,10 @@ Result<outlier::OutlierSet> KPlusDeltaProtocol::Run(const Cluster& cluster,
   g = std::min(std::max<size_t>(g, 1), std::min(budget, n));
   const size_t report = budget > g ? budget - g : 0;
 
+  obs::TraceSpan run_span(telemetry_, "protocol.kplusdelta");
   // All three rounds ship through the channel abstraction (no fault plan:
   // the K+δ baseline is evaluated on a perfect network).
-  Channel channel(comm);
+  Channel channel(comm, /*injector=*/nullptr, telemetry_);
 
   // --- Round 1: common sampled keys, exact aggregation, mode estimate. ---
   channel.BeginRound();

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "dist/cluster.h"
 #include "dist/comm.h"
+#include "obs/telemetry.h"
 #include "outlier/outlier.h"
 
 namespace csod::dist {
@@ -27,6 +28,18 @@ class OutlierProtocol {
 
   /// Short display name ("BOMP", "ALL", "K+delta", ...).
   virtual std::string name() const = 0;
+
+  /// Attaches a telemetry sink for the next Run: per-phase "comm.*"
+  /// counters, "protocol.*" spans, and recovery histograms. Null restores
+  /// the default `obs::Telemetry::Disabled()`, which is free.
+  void set_telemetry(obs::Telemetry* telemetry) {
+    telemetry_ =
+        telemetry != nullptr ? telemetry : obs::Telemetry::Disabled();
+  }
+
+ protected:
+  /// Never null; `Disabled()` unless `set_telemetry` attached a live sink.
+  obs::Telemetry* telemetry_ = obs::Telemetry::Disabled();
 };
 
 }  // namespace csod::dist

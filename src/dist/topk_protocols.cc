@@ -74,7 +74,8 @@ double RandomAccess(const std::vector<SortedSlice>& slices, size_t key,
 
 Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
                                                 size_t k, size_t batch_size,
-                                                CommStats* comm) {
+                                                CommStats* comm,
+                                                obs::Telemetry* telemetry) {
   if (comm == nullptr) {
     return Status::InvalidArgument("TA: comm must not be null");
   }
@@ -84,9 +85,11 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
   if (cluster.num_nodes() == 0) {
     return Status::FailedPrecondition("TA: empty cluster");
   }
+  obs::TraceSpan run_span(telemetry, "protocol.ta");
   CSOD_ASSIGN_OR_RETURN(std::vector<SortedSlice> slices, SortSlices(cluster));
   const std::vector<NodeId> ids = cluster.NodeIds();
-  Channel channel(comm);  // Baseline: perfect network.
+  // Baseline: perfect network.
+  Channel channel(comm, /*injector=*/nullptr, telemetry);
 
   std::unordered_map<size_t, double> exact;  // key -> exact aggregate
   std::vector<size_t> cursor(slices.size(), 0);
@@ -136,17 +139,20 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
 }
 
 Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
-                                  CommStats* comm) {
+                                  CommStats* comm,
+                                  obs::Telemetry* telemetry) {
   if (comm == nullptr) {
     return Status::InvalidArgument("TPUT: comm must not be null");
   }
   if (cluster.num_nodes() == 0) {
     return Status::FailedPrecondition("TPUT: empty cluster");
   }
+  obs::TraceSpan run_span(telemetry, "protocol.tput");
   CSOD_ASSIGN_OR_RETURN(std::vector<SortedSlice> slices, SortSlices(cluster));
   const std::vector<NodeId> ids = cluster.NodeIds();
   const size_t num_nodes = slices.size();
-  Channel channel(comm);  // Baseline: perfect network.
+  // Baseline: perfect network.
+  Channel channel(comm, /*injector=*/nullptr, telemetry);
 
   // --- Phase 1: local top-k, partial sums, lower bound τ. ---
   channel.BeginRound();

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "dist/cluster.h"
 #include "dist/comm.h"
+#include "obs/telemetry.h"
 #include "outlier/outlier.h"
 
 namespace csod::dist {
@@ -35,7 +36,9 @@ struct TopKRunResult {
 /// exact aggregates reach the threshold. Requires non-negative values.
 Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
                                                 size_t k, size_t batch_size,
-                                                CommStats* comm);
+                                                CommStats* comm,
+                                                obs::Telemetry* telemetry =
+                                                    nullptr);
 
 /// \brief TPUT (Cao & Wang [10]): Three-Phase Uniform Threshold top-k.
 ///
@@ -45,7 +48,8 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
 /// surviving candidates are fetched and the exact top-k is returned.
 /// Requires non-negative values.
 Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
-                                  CommStats* comm);
+                                  CommStats* comm,
+                                  obs::Telemetry* telemetry = nullptr);
 
 }  // namespace csod::dist
 

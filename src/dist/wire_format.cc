@@ -1,5 +1,6 @@
 #include "dist/wire_format.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/random.h"
@@ -99,7 +100,13 @@ Result<const char*> ValidateEnvelope(const std::string& bytes, uint8_t kind,
 
 }  // namespace
 
-std::string EncodeMeasurement(const std::vector<double>& y) {
+Result<std::string> EncodeMeasurement(const std::vector<double>& y) {
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (!std::isfinite(y[i])) {
+      return Status::InvalidArgument(
+          "wire: non-finite measurement entry at row " + std::to_string(i));
+    }
+  }
   std::string out;
   out.reserve(MeasurementWireSize(y.size()));
   AppendU32(&out, kMagic);
@@ -127,6 +134,13 @@ Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice) {
     if (idx > UINT32_MAX) {
       return Status::OutOfRange("wire: key id " + std::to_string(idx) +
                                 " exceeds 32-bit key space");
+    }
+  }
+  for (size_t i = 0; i < slice.values.size(); ++i) {
+    if (!std::isfinite(slice.values[i])) {
+      return Status::InvalidArgument(
+          "wire: non-finite value for key " +
+          std::to_string(slice.indices[i]));
     }
   }
   std::string out;

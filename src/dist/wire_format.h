@@ -24,14 +24,20 @@ namespace csod::dist {
 /// size field, returning InvalidArgument on any corruption. Encoded sizes
 /// intentionally exceed the paper's idealized tuple counts only by the
 /// fixed header, so CommStats keeps using the idealized sizes.
+///
+/// Non-finite payloads (NaN, ±Inf) are rejected at encode time: a sketch
+/// is a sum of measurements, and one NaN would silently poison the global
+/// aggregate at the coordinator. Rejecting on the sending side keeps the
+/// corruption local to the node that produced it.
 
-/// Serializes a measurement vector.
-std::string EncodeMeasurement(const std::vector<double>& y);
+/// Serializes a measurement vector. InvalidArgument on non-finite entries.
+Result<std::string> EncodeMeasurement(const std::vector<double>& y);
 
 /// Parses a measurement message.
 Result<std::vector<double>> DecodeMeasurement(const std::string& bytes);
 
 /// Serializes a sparse key-value slice (32-bit key ids; keys must fit).
+/// InvalidArgument on non-finite values.
 Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice);
 
 /// Parses a key-value message.

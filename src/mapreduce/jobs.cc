@@ -146,6 +146,7 @@ Result<CsJobResult> RunCsOutlierJob(
   if (options.n == 0 || options.m == 0) {
     return Status::InvalidArgument("RunCsOutlierJob: n and m must be > 0");
   }
+  obs::TraceSpan job_span(options.telemetry, "job.cs");
 
   // Mapper-side matrix: implicit (no dense cache). Every mapper generates
   // the same Φ0 from the consensus seed (Algorithm 3) and only touches the
@@ -153,6 +154,7 @@ Result<CsJobResult> RunCsOutlierJob(
   cs::MeasurementMatrix mapper_matrix(options.m, options.n, options.seed,
                                       /*cache_budget_bytes=*/0);
   cs::Compressor compressor(&mapper_matrix);
+  compressor.set_telemetry(options.telemetry);
 
   // Algorithm 3 (CS-Mapper), batched across mappers: partial aggregation
   // and vectorization per split (parallel, disjoint slots), then one fused
@@ -179,6 +181,17 @@ Result<CsJobResult> RunCsOutlierJob(
     }
   });
   for (const Status& status : combine_status) CSOD_RETURN_NOT_OK(status);
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    // Per-mapper rollups: input volume and distinct-key width of each
+    // split, recorded serially (snapshot determinism).
+    options.telemetry->AddCounter("job.mappers", splits.size());
+    for (size_t s = 0; s < splits.size(); ++s) {
+      options.telemetry->RecordValue("job.mapper_events",
+                                     static_cast<double>(splits[s].size()));
+      options.telemetry->RecordValue("job.mapper_nnz",
+                                     static_cast<double>(slices[s].nnz()));
+    }
+  }
   std::vector<const cs::SparseSlice*> slice_views;
   slice_views.reserve(slices.size());
   for (const cs::SparseSlice& slice : slices) slice_views.push_back(&slice);
@@ -220,6 +233,7 @@ Result<CsJobResult> RunCsOutlierJob(
     bomp_options.max_iterations =
         options.iterations == 0 ? cs::DefaultIterationsForK(options.k)
                                 : options.iterations;
+    bomp_options.telemetry = options.telemetry;
     auto recovered = cs::RunBomp(reducer_matrix, y, bomp_options);
     if (!recovered.ok()) {
       reduce_status = recovered.status();

@@ -8,6 +8,7 @@
 #include "cs/bomp.h"
 #include "cs/compressor.h"
 #include "mapreduce/cost_model.h"
+#include "obs/telemetry.h"
 #include "outlier/outlier.h"
 
 namespace csod::mr {
@@ -67,6 +68,9 @@ struct CsJobOptions {
   /// Dense-cache budget for the *reducer-side* matrix (mappers always use
   /// the implicit column-regenerated form — they only need O(nnz·M) work).
   size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+  /// Telemetry sink ("job.cs" span, per-mapper "job.*" rollups; forwarded
+  /// to the compressor and BOMP). Null or disabled is free.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Result of the CS-based job.

@@ -1,0 +1,226 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace csod::obs {
+
+namespace {
+
+// Escapes a metric name for use as a JSON string. Names are code-controlled
+// ([a-z0-9._-] by convention), but the snapshot must stay well-formed even
+// if a phase label with exotic characters leaks in.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Shortest-round-trip formatting: %.17g prints every double so it parses
+// back bit-identically, which is what makes double-run snapshot diffs
+// byte-exact when the recorded values are.
+std::string JsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string BucketKey(int bucket) {
+  if (bucket == ValueStats::kZeroBucket) return "zero";
+  if (bucket == ValueStats::kNegativeBucket) return "neg";
+  return std::to_string(bucket);
+}
+
+int BucketFor(double value) {
+  if (value == 0.0) return ValueStats::kZeroBucket;
+  if (value < 0.0) return ValueStats::kNegativeBucket;
+  int exponent = 0;
+  std::frexp(value, &exponent);
+  return exponent;
+}
+
+}  // namespace
+
+Telemetry* Telemetry::Disabled() {
+  static Telemetry* disabled = new Telemetry(/*enabled=*/false);
+  return disabled;
+}
+
+void Telemetry::AddCounterImpl(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Telemetry::RecordValueImpl(std::string_view name, double value) {
+  if (!std::isfinite(value)) {
+    AddCounterImpl("obs.nonfinite_dropped", 1);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    it = values_.emplace(std::string(name), ValueStats{}).first;
+  }
+  ValueStats& stats = it->second;
+  if (stats.count == 0) {
+    stats.min = value;
+    stats.max = value;
+  } else {
+    if (value < stats.min) stats.min = value;
+    if (value > stats.max) stats.max = value;
+  }
+  ++stats.count;
+  stats.sum += value;
+  ++stats.buckets[BucketFor(value)];
+}
+
+void Telemetry::RecordSpanImpl(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    it = spans_.emplace(std::string(name), SpanStats{}).first;
+  }
+  SpanStats& stats = it->second;
+  if (stats.count == 0) {
+    stats.min_seconds = seconds;
+    stats.max_seconds = seconds;
+  } else {
+    if (seconds < stats.min_seconds) stats.min_seconds = seconds;
+    if (seconds > stats.max_seconds) stats.max_seconds = seconds;
+  }
+  ++stats.count;
+  stats.total_seconds += seconds;
+}
+
+uint64_t Telemetry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+ValueStats Telemetry::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? ValueStats{} : it->second;
+}
+
+SpanStats Telemetry::span(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+void Telemetry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  values_.clear();
+  spans_.clear();
+}
+
+std::string Telemetry::SnapshotJson(bool deterministic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out += "{\n";
+  out += "  \"deterministic\": ";
+  out += deterministic ? "true" : "false";
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"values\": {";
+  first = true;
+  for (const auto& [name, stats] : values_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(stats.count) + ", \"sum\": " + JsonDouble(stats.sum);
+    if (stats.count > 0) {
+      out += ", \"min\": " + JsonDouble(stats.min) +
+             ", \"max\": " + JsonDouble(stats.max);
+    }
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (const auto& [bucket, count] : stats.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "\"" + BucketKey(bucket) + "\": " + std::to_string(count);
+    }
+    out += "}}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, stats] : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": {\"count\": " + std::to_string(stats.count);
+    if (!deterministic) {
+      out += ", \"total_seconds\": " + JsonDouble(stats.total_seconds);
+      if (stats.count > 0) {
+        out += ", \"min_seconds\": " + JsonDouble(stats.min_seconds) +
+               ", \"max_seconds\": " + JsonDouble(stats.max_seconds);
+      }
+    }
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteSnapshotJsonFile(const Telemetry& telemetry,
+                             const std::string& path, bool deterministic) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::InvalidArgument("telemetry: cannot open for writing: " +
+                                   path);
+  }
+  const std::string json = telemetry.SnapshotJson(deterministic);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  if (std::fclose(out) != 0 || written != json.size()) {
+    return Status::Internal("telemetry: write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace csod::obs

@@ -1,0 +1,169 @@
+#ifndef CSOD_OBS_TELEMETRY_H_
+#define CSOD_OBS_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace csod::obs {
+
+/// Aggregate of every value recorded into one histogram: exact count, sum,
+/// min/max, and power-of-two magnitude buckets (see Telemetry::RecordValue
+/// for the bucketing rule). All fields are pure functions of the multiset
+/// of recorded values except `sum`, whose floating-point result also
+/// depends on recording order — deterministic for the seeded, serially
+/// recorded quantities this library measures (DESIGN.md §9).
+struct ValueStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningful only when count > 0.
+  double max = 0.0;  ///< Meaningful only when count > 0.
+  /// Bucket key -> count. For v > 0 the key is the binary exponent e with
+  /// 2^(e-1) <= v < 2^e (i.e. frexp's exponent); v == 0 uses kZeroBucket
+  /// and v < 0 uses kNegativeBucket. Integer counts keyed by integer
+  /// exponents are scheduling-order independent by construction.
+  std::map<int, uint64_t> buckets;
+
+  static constexpr int kZeroBucket = INT32_MIN;
+  static constexpr int kNegativeBucket = INT32_MIN + 1;
+};
+
+/// Aggregate of every completed span with one name: invocation count (a
+/// deterministic quantity) and wall-clock totals (not deterministic; only
+/// emitted by non-deterministic snapshots).
+struct SpanStats {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;  ///< Meaningful only when count > 0.
+  double max_seconds = 0.0;  ///< Meaningful only when count > 0.
+};
+
+/// \brief Zero-overhead-when-disabled telemetry registry for the CS
+/// pipeline: typed counters (comm bytes per phase, retries, excluded
+/// nodes), value histograms (BOMP iterations, residual norms), and scoped
+/// wall-clock trace spans (DESIGN.md §9 names every metric).
+///
+/// Thread safety: all recording methods may be called concurrently; the
+/// registry is guarded by a mutex. The hot-path contract is that every
+/// recording method first branches on `enabled()` — the disabled sink
+/// (`Telemetry::Disabled()`) therefore costs one predictable branch per
+/// call site and never takes the lock, allocates, or reads the clock,
+/// which is what keeps BENCH_kernels/BENCH_sketch numbers unchanged.
+///
+/// Determinism: `SnapshotJson(/*deterministic=*/true)` emits counters,
+/// value histograms, and span *counts* in stable (sorted-key) order with
+/// no timestamps or durations, so two runs of the same seeded job produce
+/// byte-identical snapshots and double-run diffing works like the bench
+/// scripts. Pass deterministic=false to additionally get wall-clock span
+/// durations.
+class Telemetry {
+ public:
+  /// An enabled, empty registry.
+  Telemetry() : enabled_(true) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// The process-wide disabled sink: every recording call on it is a
+  /// single branch. Use it as the default for telemetry pointers so call
+  /// sites never need a null check.
+  static Telemetry* Disabled();
+
+  bool enabled() const { return enabled_; }
+
+  /// Adds `delta` to the counter `name` (created at zero on first use).
+  void AddCounter(std::string_view name, uint64_t delta = 1) {
+    if (!enabled_) return;
+    AddCounterImpl(name, delta);
+  }
+
+  /// Records `value` into the histogram `name`. Non-finite values are
+  /// rejected (dropped and tallied under the "obs.nonfinite_dropped"
+  /// counter) so a NaN can never poison a snapshot's sum/min/max.
+  void RecordValue(std::string_view name, double value) {
+    if (!enabled_) return;
+    RecordValueImpl(name, value);
+  }
+
+  /// Records one completed span (TraceSpan calls this from its
+  /// destructor; durations are wall-clock and thus non-deterministic).
+  void RecordSpan(std::string_view name, double seconds) {
+    if (!enabled_) return;
+    RecordSpanImpl(name, seconds);
+  }
+
+  /// Point reads for tests and report cross-checks. Missing names read as
+  /// zero / empty.
+  uint64_t counter(std::string_view name) const;
+  ValueStats value(std::string_view name) const;
+  SpanStats span(std::string_view name) const;
+
+  /// Clears every counter, histogram, and span.
+  void Reset();
+
+  /// Serializes the registry to JSON with stable key order. Deterministic
+  /// mode (the default) omits every wall-clock quantity; see the class
+  /// comment. The result always ends in a newline.
+  std::string SnapshotJson(bool deterministic = true) const;
+
+ private:
+  explicit Telemetry(bool enabled) : enabled_(enabled) {}
+
+  void AddCounterImpl(std::string_view name, uint64_t delta);
+  void RecordValueImpl(std::string_view name, double value);
+  void RecordSpanImpl(std::string_view name, double seconds);
+
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, ValueStats, std::less<>> values_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// Writes `telemetry.SnapshotJson(deterministic)` to `path` (the
+/// `--telemetry-json=<path>` implementation shared by the CLI and the
+/// benchmark drivers).
+Status WriteSnapshotJsonFile(const Telemetry& telemetry,
+                             const std::string& path,
+                             bool deterministic = true);
+
+/// \brief RAII scoped trace span: measures the wall time between
+/// construction and destruction and records it under `name`.
+///
+/// `name` must outlive the span (string literals in practice). A span on
+/// a disabled (or null) telemetry never reads the clock — construction
+/// and destruction are one branch each.
+class TraceSpan {
+ public:
+  TraceSpan(Telemetry* telemetry, std::string_view name)
+      : telemetry_(telemetry != nullptr && telemetry->enabled() ? telemetry
+                                                                : nullptr),
+        name_(name) {
+    if (telemetry_ != nullptr) start_ = Clock::now();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(
+          name_, std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Telemetry* telemetry_;
+  std::string_view name_;
+  Clock::time_point start_;
+};
+
+}  // namespace csod::obs
+
+#endif  // CSOD_OBS_TELEMETRY_H_

@@ -12,7 +12,7 @@ namespace {
 
 TEST(WireFormatTest, MeasurementRoundTrip) {
   const std::vector<double> y = {1.5, -2.25, 0.0, 1e300, -1e-300};
-  const std::string bytes = EncodeMeasurement(y);
+  const std::string bytes = EncodeMeasurement(y).Value();
   EXPECT_EQ(bytes.size(), MeasurementWireSize(y.size()));
   auto decoded = DecodeMeasurement(bytes);
   ASSERT_TRUE(decoded.ok());
@@ -20,7 +20,7 @@ TEST(WireFormatTest, MeasurementRoundTrip) {
 }
 
 TEST(WireFormatTest, EmptyMeasurement) {
-  const std::string bytes = EncodeMeasurement({});
+  const std::string bytes = EncodeMeasurement({}).Value();
   auto decoded = DecodeMeasurement(bytes);
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.Value().empty());
@@ -56,7 +56,7 @@ TEST(WireFormatTest, MismatchedSliceRejected) {
 }
 
 TEST(WireFormatTest, CorruptionDetected) {
-  const std::string bytes = EncodeMeasurement({1.0, 2.0, 3.0});
+  const std::string bytes = EncodeMeasurement({1.0, 2.0, 3.0}).Value();
   // Flip one payload byte: checksum must catch it.
   for (size_t pos : {size_t{13}, size_t{20}, bytes.size() - 1}) {
     std::string corrupted = bytes;
@@ -66,7 +66,7 @@ TEST(WireFormatTest, CorruptionDetected) {
 }
 
 TEST(WireFormatTest, TruncationDetected) {
-  const std::string bytes = EncodeMeasurement({1.0, 2.0});
+  const std::string bytes = EncodeMeasurement({1.0, 2.0}).Value();
   EXPECT_FALSE(DecodeMeasurement(bytes.substr(0, bytes.size() - 1)).ok());
   EXPECT_FALSE(DecodeMeasurement(bytes.substr(0, 5)).ok());
   EXPECT_FALSE(DecodeMeasurement("").ok());
@@ -79,11 +79,11 @@ TEST(WireFormatTest, KindConfusionRejected) {
   auto kv = EncodeKeyValues(slice);
   ASSERT_TRUE(kv.ok());
   EXPECT_FALSE(DecodeMeasurement(kv.Value()).ok());
-  EXPECT_FALSE(DecodeKeyValues(EncodeMeasurement({1.0})).ok());
+  EXPECT_FALSE(DecodeKeyValues(EncodeMeasurement({1.0}).Value()).ok());
 }
 
 TEST(WireFormatTest, BadMagicRejected) {
-  std::string bytes = EncodeMeasurement({1.0});
+  std::string bytes = EncodeMeasurement({1.0}).Value();
   bytes[0] = 'X';
   EXPECT_FALSE(DecodeMeasurement(bytes).ok());
 }
@@ -92,7 +92,8 @@ TEST(WireFormatTest, FuzzedGarbageNeverCrashesDecoder) {
   // Seeded fuzz: random byte strings and randomly mutated valid messages
   // must be rejected cleanly (no crash, no bogus acceptance of mutants).
   Rng rng(0xf22d);
-  const std::string valid = EncodeMeasurement({1.0, -2.0, 3.5, 0.25});
+  const std::string valid =
+      EncodeMeasurement({1.0, -2.0, 3.5, 0.25}).Value();
   for (int trial = 0; trial < 2000; ++trial) {
     std::string bytes;
     if (trial % 2 == 0) {

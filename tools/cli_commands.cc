@@ -58,6 +58,7 @@ Result<std::unique_ptr<core::DistributedOutlierDetector>> BuildDetector(
   detector_options.m = options.m;
   detector_options.seed = options.seed;
   detector_options.iterations = options.iterations;
+  detector_options.telemetry = options.telemetry;
   CSOD_ASSIGN_OR_RETURN(auto detector,
                         core::DistributedOutlierDetector::Create(
                             detector_options));

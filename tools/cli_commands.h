@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "mapreduce/jobs.h"
+#include "obs/telemetry.h"
 
 namespace csod::tools {
 
@@ -53,6 +54,9 @@ struct DetectOptions {
   size_t iterations = 0;  ///< 0 = the paper's f(k).
   /// Override the key space (0 = infer from the file).
   size_t n_override = 0;
+  /// Telemetry sink threaded into the detector (sketch + recovery
+  /// instrumentation; `--telemetry-json`). Null or disabled is free.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Runs CS-based k-outlier detection over the event file's nodes and

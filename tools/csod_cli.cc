@@ -34,8 +34,10 @@ int Usage() {
                "usage: csod <generate|detect|topk|exact|query> [flags]\n"
                "  generate --out=FILE [--n= --sparsity= --nodes= --mode= "
                "--seed=]\n"
-               "  detect   --in=FILE  [--m= --k= --seed= --iterations= --n=]\n"
-               "  topk     --in=FILE  [--m= --k= --seed= --iterations= --n=]\n"
+               "  detect   --in=FILE  [--m= --k= --seed= --iterations= --n=\n"
+               "                       --telemetry-json=FILE]\n"
+               "  topk     --in=FILE  [--m= --k= --seed= --iterations= --n=\n"
+               "                       --telemetry-json=FILE]\n"
                "  exact    --in=FILE  [--k=]\n"
                "  query    --in=CSV --sql=QUERY [--m= --seed= --iterations=]\n");
   return 2;
@@ -100,11 +102,17 @@ int main(int argc, char** argv) {
   auto events = tools::LoadEvents(in);
   if (!events.ok()) return Fail(events.status());
 
+  // --telemetry-json=FILE attaches a live sink to the run and writes the
+  // deterministic snapshot (DESIGN.md §9) after the report.
+  const std::string telemetry_path = flags.GetString("telemetry-json", "");
+  obs::Telemetry telemetry;
+
   Result<std::string> report = Status::Unimplemented("unknown command");
-  if (command == "detect") {
-    report = tools::RunDetect(events.Value(), DetectOptionsFromFlags(flags));
-  } else if (command == "topk") {
-    report = tools::RunTopK(events.Value(), DetectOptionsFromFlags(flags));
+  if (command == "detect" || command == "topk") {
+    tools::DetectOptions options = DetectOptionsFromFlags(flags);
+    if (!telemetry_path.empty()) options.telemetry = &telemetry;
+    report = command == "detect" ? tools::RunDetect(events.Value(), options)
+                                 : tools::RunTopK(events.Value(), options);
   } else if (command == "exact") {
     report = tools::RunExact(events.Value(),
                              static_cast<size_t>(flags.GetInt("k", 5)));
@@ -113,5 +121,11 @@ int main(int argc, char** argv) {
   }
   if (!report.ok()) return Fail(report.status());
   std::fputs(report.Value().c_str(), stdout);
+  if (!telemetry_path.empty()) {
+    const Status written = obs::WriteSnapshotJsonFile(telemetry,
+                                                      telemetry_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("telemetry: %s\n", telemetry_path.c_str());
+  }
   return 0;
 }
