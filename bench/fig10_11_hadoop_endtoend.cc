@@ -11,14 +11,21 @@
 // are measured) and IO/shuffle times come from the byte-exact cost model
 // calibrated to that cluster (see mapreduce/cost_model.h).
 //
+// The in-process engine itself runs map tasks (and reduce tasks)
+// concurrently under --threads (0 = hardware limit); each scenario prints
+// the measured engine wall clock per phase so the parallel executor's
+// speedup on this machine is visible next to the simulated cluster
+// timings (bench_mapreduce sweeps thread limits and digests outputs).
+//
 // Default N = 20K (the paper's synthetic N = 100K; use --n=100000 for
-// paper scale). Flags: --n --m-list --quick
+// paper scale). Flags: --n --m-list --threads --quick
 
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "mapreduce/jobs.h"
 #include "workload/generators.h"
 #include "workload/partitioner.h"
@@ -120,6 +127,12 @@ void RunScenario(const Scenario& scenario,
               (std::to_string(traditional.stats.shuffle_bytes / 1024) +
                " KiB traditional")
                   .c_str());
+  std::printf("%-24s map %.1f ms, shuffle %.1f ms, reduce %.1f ms "
+              "(traditional job, %zu-thread engine on this box)\n",
+              "engine wall clock", traditional.stats.map_wall_sec * 1e3,
+              traditional.stats.shuffle_wall_sec * 1e3,
+              traditional.stats.reduce_wall_sec * 1e3,
+              csod::GetParallelismLimit());
 }
 
 }  // namespace
@@ -129,6 +142,8 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv).Check();
   const size_t n = static_cast<size_t>(flags.GetInt("n", 20000));
   const bool quick = flags.GetBool("quick", false);
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) SetParallelismLimit(static_cast<size_t>(threads));
   const std::vector<int64_t> m_list = flags.GetIntList(
       "m-list", quick ? std::vector<int64_t>{100, 400, 800}
                       : std::vector<int64_t>{100, 200, 300, 400, 500, 600,

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the MapReduce engine benchmark (BENCH_mapreduce.json at the repo
+# root): the parallel shuffle-aware executor at thread limits {1,2,8} on
+# the fig10/11 big-input workload, with an FNV-1a digest over every output
+# bit (top-k keys/values, CS outliers, recovered mode, exact shuffle byte
+# counts).
+#
+# The bench runs twice; timings differ run to run, so the determinism
+# check (same pattern as run_bench_kernels.sh / run_bench_faults.sh) diffs
+# only the output_digest / bit_identical lines, which must be
+# byte-identical — and the bench itself exits nonzero if any thread limit
+# moves a single output bit.
+#
+# Usage: scripts/run_bench_mapreduce.sh
+#   BUILD_DIR=<dir>        build directory (default: build)
+#   MAPREDUCE_FLAGS=<f>    extra bench_mapreduce flags (e.g. "--quick=true")
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_mapreduce -j "$(nproc)"
+
+TMP_A="$(mktemp)"
+TMP_B="$(mktemp)"
+trap 'rm -f "$TMP_A" "$TMP_B"' EXIT
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_mapreduce" --out="$TMP_A" ${MAPREDUCE_FLAGS:-}
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_mapreduce" --out="$TMP_B" ${MAPREDUCE_FLAGS:-} \
+  >/dev/null
+
+if ! diff <(grep -E 'output_digest|bit_identical' "$TMP_A") \
+          <(grep -E 'output_digest|bit_identical' "$TMP_B") >/dev/null; then
+  echo "FAIL: two bench_mapreduce runs produced different output digests" >&2
+  diff <(grep -E 'output_digest|bit_identical' "$TMP_A") \
+       <(grep -E 'output_digest|bit_identical' "$TMP_B") >&2 || true
+  exit 1
+fi
+echo "MapReduce determinism check passed: digests identical across two runs."
+
+cp "$TMP_A" "$ROOT/BENCH_mapreduce.json"
+echo "Wrote $ROOT/BENCH_mapreduce.json"

@@ -28,6 +28,13 @@ fi
 # gets sanitizer coverage of the failure-handling code.
 ctest --output-on-failure -j "$(nproc)" -R 'Fault|Degraded|RetryPolicy'
 
+# Parallel MapReduce engine pass: map tasks, shuffle build, and reduce
+# tasks all run concurrently on the pool now, so the engine/jobs suites
+# (including the cross-thread-limit bit-identity sweeps) get an explicit
+# rerun under the sanitizer even when the main invocation was filtered.
+ctest --output-on-failure -j "$(nproc)" \
+  -R 'EngineTest|EngineDeterminism|DefaultPartition|CostModel|JobTest|Jobs|ParallelFor'
+
 # SIMD kernel + batch sketching tests again under the same sanitizer, but
 # with the portable dispatch path forced at compile time, so both sides of
 # the AVX2/portable split get sanitizer coverage.

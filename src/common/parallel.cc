@@ -62,6 +62,15 @@ void ParallelFor(size_t count, size_t min_chunk,
       chunk_size);
 }
 
+void ParallelForEach(size_t count, const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  const std::function<void(size_t, size_t)> range = [&body](size_t begin,
+                                                            size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  };
+  ParallelFor(count, 1, range);
+}
+
 void ParallelForChunks(
     size_t count, size_t chunk_count,
     const std::function<void(size_t, size_t, size_t)>& body) {

@@ -42,6 +42,18 @@ void ParallelFor(size_t count, size_t min_chunk,
 /// Use it to size chunk-local accumulators for ParallelForChunks.
 size_t ParallelChunkCount(size_t count, size_t min_chunk);
 
+/// \brief Task-parallel loop: invokes `body(index)` once per index in
+/// [0, count), distributing indices over ParallelFor's deterministic
+/// chunking (min_chunk = 1, so up to `limit` coarse chunks).
+///
+/// Convenience for stages whose unit of work is one self-contained *task*
+/// writing its own pre-sized output slot — the MapReduce engine's map and
+/// reduce tasks — rather than one element of a dense range. Size the
+/// per-task buffers to `count` up front (not to the chunk count): slots
+/// are indexed by task, so results are bit-identical at any parallelism
+/// limit. `body` must be safe to invoke concurrently for distinct indices.
+void ParallelForEach(size_t count, const std::function<void(size_t)>& body);
+
 /// \brief ParallelFor variant for chunk-local reductions: the body also
 /// receives the chunk index, and the caller fixes `chunk_count` explicitly
 /// (typically ParallelChunkCount(...), read once so concurrent limit

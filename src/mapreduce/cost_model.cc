@@ -20,12 +20,14 @@ double ClusterCostModel::MapPhaseSeconds(const JobStats& stats) const {
       (static_cast<double>(stats.input_bytes) +
        static_cast<double>(stats.shuffle_bytes)) /
       disk_bandwidth_bytes_per_sec / parallelism;
+  // Straggler-aware: the slowest single map task lower-bounds the phase.
   const double compute_sec =
-      stats.map_compute_sec * compute_scale / parallelism;
-  const double tuple_sec = static_cast<double>(stats.shuffle_tuples) *
-                           per_tuple_cpu_sec / parallelism;
+      compute_scale * std::max(stats.map_compute_sec / parallelism,
+                               stats.map_compute_max_sec);
+  const double serialize_sec = static_cast<double>(stats.shuffle_tuples) *
+                               serialize_per_tuple_cpu_sec / parallelism;
   return Waves(stats.num_map_tasks) * per_wave_overhead_sec + io_sec +
-         compute_sec + tuple_sec;
+         compute_sec + serialize_sec;
 }
 
 double ClusterCostModel::ShuffleSeconds(const JobStats& stats) const {
@@ -39,12 +41,18 @@ double ClusterCostModel::ReducePhaseSeconds(const JobStats& stats) const {
       std::min(num_workers, std::max<size_t>(stats.num_reduce_tasks, 1)));
   const double merge_sec = static_cast<double>(stats.shuffle_bytes) /
                            disk_bandwidth_bytes_per_sec / parallelism;
+  // Measured grouping cost (combine + partition + merge into sorted
+  // groups) — the reduce side's sort/merge in Hadoop terms.
+  const double grouping_sec =
+      stats.shuffle_build_sec * compute_scale / parallelism;
   const double compute_sec =
-      stats.reduce_compute_sec * compute_scale / parallelism;
-  const double tuple_sec = static_cast<double>(stats.shuffle_tuples) *
-                           per_tuple_cpu_sec / parallelism;
+      compute_scale * std::max(stats.reduce_compute_sec / parallelism,
+                               stats.reduce_compute_max_sec);
+  const double deserialize_sec = static_cast<double>(stats.shuffle_tuples) *
+                                 deserialize_per_tuple_cpu_sec / parallelism;
   return Waves(stats.num_reduce_tasks) * per_wave_overhead_sec +
-         ShuffleSeconds(stats) + merge_sec + compute_sec + tuple_sec;
+         ShuffleSeconds(stats) + merge_sec + grouping_sec + compute_sec +
+         deserialize_sec;
 }
 
 double ClusterCostModel::EndToEndSeconds(const JobStats& stats) const {

@@ -12,16 +12,40 @@ namespace csod::mr {
 struct JobStats {
   size_t num_map_tasks = 0;
   size_t num_reduce_tasks = 0;
-  /// Wall-clock CPU seconds spent inside map functions (sum over tasks).
+  /// Wall-clock CPU seconds spent inside map functions (sum over tasks;
+  /// the map stopwatch stops before combining/partitioning, which is
+  /// charged to `shuffle_build_sec`).
   double map_compute_sec = 0.0;
+  /// Seconds of the single slowest map task — the straggler floor: no
+  /// amount of cluster parallelism makes the map phase faster than this.
+  double map_compute_max_sec = 0.0;
   /// Wall-clock CPU seconds spent inside reduce functions (sum over tasks).
   double reduce_compute_sec = 0.0;
+  /// Seconds of the single slowest reduce task.
+  double reduce_compute_max_sec = 0.0;
+  /// Seconds spent building the shuffle (sum over tasks): in-mapper
+  /// combining, partitioning into reduce-task buffers, and the merge into
+  /// sorted per-reduce-task group views.
+  double shuffle_build_sec = 0.0;
+  /// Engine wall-clock seconds of each phase *on this machine* under the
+  /// current parallelism limit (bench/speedup reporting; the cost model
+  /// works from the per-task sums/maxes above instead, so simulated
+  /// timings do not depend on the host's core count).
+  double map_wall_sec = 0.0;
+  double shuffle_wall_sec = 0.0;
+  double reduce_wall_sec = 0.0;
   /// Bytes read by mappers (input splits).
   uint64_t input_bytes = 0;
-  /// Bytes written by mappers == bytes shuffled to reducers.
+  /// Bytes written by mappers == bytes shuffled to reducers (post-combine
+  /// when the job has a `combine_fn`).
   uint64_t shuffle_bytes = 0;
-  /// Records emitted by mappers.
+  /// Records emitted by mappers (post-combine).
   uint64_t shuffle_tuples = 0;
+  /// Shuffle volume *before* the in-mapper combiner — what an uncombined
+  /// job would have shipped. Equal to `shuffle_bytes`/`shuffle_tuples`
+  /// when the job has no `combine_fn`.
+  uint64_t pre_combine_shuffle_bytes = 0;
+  uint64_t pre_combine_shuffle_tuples = 0;
   /// Final output records.
   uint64_t output_records = 0;
 };
@@ -32,10 +56,14 @@ struct JobStats {
 /// The engine executes the real computation on one machine and measures
 /// it; this model composes those measurements with IO times derived from
 /// the exact byte counts. The composition follows the paper's narrative:
-/// mapper time = input IO + map compute + output spill; reducer time =
-/// shuffle transfer (the reducer's "waiting time") + merge IO + reduce
-/// compute. End-to-end = map phase + reduce phase, with per-task
-/// scheduling overhead and wave-based parallelism.
+/// mapper time = input IO + map compute + serialization + output spill;
+/// reducer time = shuffle transfer (the reducer's "waiting time") +
+/// merge/grouping + deserialization + reduce compute. End-to-end = map
+/// phase + reduce phase, with per-task scheduling overhead and wave-based
+/// parallelism. Each phase's compute term is
+/// `max(sum over tasks / parallelism, slowest single task)` — the slowest
+/// task is a floor no amount of workers removes, so the model sees
+/// stragglers instead of assuming perfectly divisible work.
 struct ClusterCostModel {
   /// Concurrent task slots in the cluster.
   size_t num_workers = 10;
@@ -47,13 +75,19 @@ struct ClusterCostModel {
   double per_wave_overhead_sec = 1.0;
   /// Scale on measured compute time (1.0 = this machine's speed).
   double compute_scale = 1.0;
-  /// Per-intermediate-tuple CPU cost (serialization, sort, spill, merge)
-  /// charged once on the map side and once on the reduce side. Calibrated
-  /// to Hadoop 2.4 record handling (~10 µs/record; the slope of the
-  /// paper's Figure 12 traditional-top-k curve implies even more). This is
-  /// what makes shuffling L·N key-value tuples expensive relative to L·M
-  /// measurements on the paper's testbed.
-  double per_tuple_cpu_sec = 10.0e-6;
+  /// Per-intermediate-tuple CPU cost on the *map* side: serialization,
+  /// sort, and spill of each emitted record. Calibrated to Hadoop 2.4
+  /// record handling (~10 µs/record; the slope of the paper's Figure 12
+  /// traditional-top-k curve implies even more). Together with the
+  /// reduce-side term below this is what makes shuffling L·N key-value
+  /// tuples expensive relative to L·M measurements on the paper's testbed.
+  double serialize_per_tuple_cpu_sec = 10.0e-6;
+  /// Per-intermediate-tuple CPU cost on the *reduce* side: merge-read and
+  /// deserialization of each shuffled record. Charged separately from the
+  /// map-side term — each side handles every tuple exactly once, so the
+  /// two explicit terms replace the old single `per_tuple_cpu_sec` that
+  /// was silently charged twice.
+  double deserialize_per_tuple_cpu_sec = 10.0e-6;
 
   /// Number of sequential waves needed to run `tasks` tasks.
   double Waves(size_t tasks) const;

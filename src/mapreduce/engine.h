@@ -1,15 +1,20 @@
 #ifndef CSOD_MAPREDUCE_ENGINE_H_
 #define CSOD_MAPREDUCE_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mapreduce/cost_model.h"
+#include "obs/telemetry.h"
 
 namespace csod::mr {
 
@@ -37,16 +42,47 @@ class Emitter {
   std::vector<std::pair<K, V>> pairs_;
 };
 
+/// \brief Default reduce-task partitioner: a fixed splitmix64-style mixer.
+///
+/// `std::hash<K>` is *identity* for integers on libstdc++, so hashing a
+/// structured key set (say, multiples of 8) through `% num_reduce_tasks`
+/// produces skewed, structured partitions — and a different assignment on
+/// every standard library, violating the cross-platform determinism
+/// contract (DESIGN.md §9). Integral keys therefore go through SplitMix64
+/// directly: the assignment is a pure function of the key's value,
+/// byte-identical on every platform. Non-integral keys fall back to mixing
+/// `std::hash<K>` (unskewed, but only as portable as that hash — supply a
+/// `Job::partition_fn` when such keys need cross-platform pinning).
+template <typename K>
+size_t DefaultPartition(const K& key) {
+  if constexpr (std::is_integral_v<K>) {
+    return static_cast<size_t>(SplitMix64(static_cast<uint64_t>(key)));
+  } else {
+    return static_cast<size_t>(
+        SplitMix64(static_cast<uint64_t>(std::hash<K>{}(key))));
+  }
+}
+
 /// \brief Declarative description of a MapReduce job over the in-process
 /// engine.
 ///
 /// `Input` is one input record; `K`/`V` the intermediate pair; `Out` one
 /// final output record. The map function runs once per split (task level,
 /// so in-mapper combining — the paper's "partial aggregation for each key"
-/// — is expressible). Exactly one of `reduce_fn` (per key group) or
+/// — is expressible either inside `map_fn` or declaratively via
+/// `combine_fn`). Exactly one of `reduce_fn` (per key group) or
 /// `task_reduce_fn` (whole reduce-task view, needed when the reducer is
 /// not key-local, e.g. CS recovery over the complete measurement vector)
 /// must be provided.
+///
+/// Thread safety: the engine runs map tasks concurrently, and reduce tasks
+/// concurrently, under the global parallelism limit
+/// (common/parallel.h). `map_fn`, `combine_fn`, `partition_fn`,
+/// `tuple_bytes`, and the reducer must therefore be safe to invoke
+/// concurrently for *distinct* tasks (pure functions of their arguments,
+/// or functions whose shared captures are read-only). A reducer that
+/// mutates shared captured state is safe only with `num_reduce_tasks == 1`
+/// (a single task runs on the calling thread).
 template <typename Input, typename K, typename V, typename Out>
 struct Job {
   /// Map task body: consumes one split, emits intermediate pairs.
@@ -59,6 +95,15 @@ struct Job {
   std::function<void(std::map<K, std::vector<V>>&, std::vector<Out>*)>
       task_reduce_fn;
 
+  /// Optional in-mapper combiner (the paper's "partial aggregation for
+  /// each key"): folds one map task's values for one key — in emit order —
+  /// into a single value shipped through the shuffle. When set, the engine
+  /// accounts shuffle volume both before the combiner
+  /// (`JobStats::pre_combine_shuffle_{bytes,tuples}`, what an
+  /// uncombined job would have shipped) and after it
+  /// (`JobStats::shuffle_{bytes,tuples}`, what actually crosses the wire).
+  std::function<V(const K&, std::vector<V>&)> combine_fn;
+
   /// On-wire size of one intermediate pair (shuffle accounting). Required.
   std::function<uint64_t(const K&, const V&)> tuple_bytes;
 
@@ -68,9 +113,14 @@ struct Job {
   /// Number of reduce tasks (keys are hash-partitioned across them).
   size_t num_reduce_tasks = 1;
 
-  /// Optional custom partitioner: key -> reduce task. Defaults to
-  /// std::hash.
+  /// Optional custom partitioner: key -> reduce task (the engine applies
+  /// `% num_reduce_tasks`). Defaults to the splitmix64 mixer
+  /// (`DefaultPartition`), never raw `std::hash`.
   std::function<size_t(const K&)> partition_fn;
+
+  /// Telemetry sink: `mr.{map,shuffle,reduce}` spans plus shuffle volume
+  /// counters. Null or disabled is free.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Result of a job run: the concatenated reducer outputs plus measured
@@ -84,7 +134,20 @@ struct JobResult {
 /// \brief Executes a Job over the given input splits (one map task per
 /// split), with an exact byte-accounted shuffle.
 ///
-/// The engine is deterministic: reduce tasks process keys in sorted order.
+/// Execution is parallel on the persistent-pool substrate, in three
+/// phases, each a deterministic task-parallel loop (ParallelForEach):
+///  1. *Map*: every map task runs concurrently with task-local partition
+///     buffers (one pair vector per reduce task). `map_compute_sec` times
+///     only the `map_fn` body; combining and partitioning are charged to
+///     `shuffle_build_sec`.
+///  2. *Shuffle build*: per-reduce-task group views are merged from the
+///     task-local buffers in fixed split order, so the value order inside
+///     every key group — and therefore every downstream float sum — is
+///     identical to a sequential engine's, at any thread count.
+///  3. *Reduce*: reduce tasks run concurrently into task-local output
+///     vectors, concatenated in task order.
+/// Output is bit-identical at any parallelism limit; reduce tasks process
+/// keys in sorted order.
 template <typename Input, typename K, typename V, typename Out>
 Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
                               const Job<Input, K, V, Out>& job) {
@@ -105,45 +168,145 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
   }
 
   JobResult<Out> result;
-  result.stats.num_map_tasks = splits.size();
-  result.stats.num_reduce_tasks = job.num_reduce_tasks;
+  JobStats& stats = result.stats;
+  stats.num_map_tasks = splits.size();
+  stats.num_reduce_tasks = job.num_reduce_tasks;
 
-  auto partition = job.partition_fn
-                       ? job.partition_fn
-                       : std::function<size_t(const K&)>(
-                             [](const K& k) { return std::hash<K>{}(k); });
+  const auto partition = job.partition_fn
+                             ? job.partition_fn
+                             : std::function<size_t(const K&)>(
+                                   [](const K& k) { return DefaultPartition(k); });
 
-  // --- Map phase (executed for real, timed). ---
-  // Reduce-task-local group views, keyed in sorted order for determinism.
-  std::vector<std::map<K, std::vector<V>>> groups(job.num_reduce_tasks);
-  Stopwatch map_watch;
-  for (const std::vector<Input>& split : splits) {
-    Emitter<K, V> emitter(job.tuple_bytes);
-    job.map_fn(split, &emitter);
-    result.stats.input_bytes +=
-        static_cast<uint64_t>(split.size()) * job.input_record_bytes;
-    result.stats.shuffle_bytes += emitter.bytes();
-    result.stats.shuffle_tuples += emitter.pairs().size();
-    for (auto& [key, value] : emitter.pairs()) {
-      const size_t task = partition(key) % job.num_reduce_tasks;
-      groups[task][key].push_back(std::move(value));
-    }
-  }
-  result.stats.map_compute_sec = map_watch.ElapsedSeconds();
-
-  // --- Reduce phase (executed for real, timed). ---
-  Stopwatch reduce_watch;
-  for (size_t task = 0; task < job.num_reduce_tasks; ++task) {
-    if (has_task_reduce) {
-      job.task_reduce_fn(groups[task], &result.output);
-    } else {
-      for (auto& [key, values] : groups[task]) {
-        job.reduce_fn(key, values, &result.output);
+  // --- Map phase (executed for real, timed per task). ---
+  // Each task owns its partition buffers and stat slots, so the parallel
+  // loop writes disjoint state only.
+  struct MapTaskState {
+    std::vector<std::vector<std::pair<K, V>>> parts;  // [num_reduce_tasks]
+    double map_sec = 0.0;    // map_fn body only
+    double build_sec = 0.0;  // combine + partition
+    uint64_t input_bytes = 0;
+    uint64_t pre_bytes = 0;
+    uint64_t pre_tuples = 0;
+    uint64_t post_bytes = 0;
+    uint64_t post_tuples = 0;
+  };
+  std::vector<MapTaskState> tasks(splits.size());
+  Stopwatch map_wall;
+  {
+    obs::TraceSpan span(job.telemetry, "mr.map");
+    ParallelForEach(splits.size(), [&](size_t s) {
+      MapTaskState& t = tasks[s];
+      t.parts.resize(job.num_reduce_tasks);
+      Emitter<K, V> emitter(job.tuple_bytes);
+      Stopwatch map_watch;
+      job.map_fn(splits[s], &emitter);
+      // The map stopwatch stops *before* combining/partitioning: grouping
+      // cost belongs to shuffle_build_sec, not map_compute_sec (else the
+      // cost model scales shuffle work by compute_scale).
+      t.map_sec = map_watch.ElapsedSeconds();
+      t.input_bytes =
+          static_cast<uint64_t>(splits[s].size()) * job.input_record_bytes;
+      t.pre_bytes = emitter.bytes();
+      t.pre_tuples = emitter.pairs().size();
+      Stopwatch build_watch;
+      if (job.combine_fn) {
+        // Group this task's pairs (emit order preserved per key), fold each
+        // key to one combined value, then partition the combined pairs.
+        std::map<K, std::vector<V>> local;
+        for (auto& [key, value] : emitter.pairs()) {
+          local[key].push_back(std::move(value));
+        }
+        for (auto& [key, values] : local) {
+          V combined = job.combine_fn(key, values);
+          t.post_bytes += job.tuple_bytes(key, combined);
+          ++t.post_tuples;
+          t.parts[partition(key) % job.num_reduce_tasks].emplace_back(
+              key, std::move(combined));
+        }
+      } else {
+        t.post_bytes = t.pre_bytes;
+        t.post_tuples = t.pre_tuples;
+        for (auto& [key, value] : emitter.pairs()) {
+          const size_t task = partition(key) % job.num_reduce_tasks;
+          t.parts[task].emplace_back(std::move(key), std::move(value));
+        }
       }
-    }
+      t.build_sec = build_watch.ElapsedSeconds();
+    });
   }
-  result.stats.reduce_compute_sec = reduce_watch.ElapsedSeconds();
-  result.stats.output_records = result.output.size();
+  stats.map_wall_sec = map_wall.ElapsedSeconds();
+  for (const MapTaskState& t : tasks) {  // Serial, fixed-order accumulation.
+    stats.input_bytes += t.input_bytes;
+    stats.pre_combine_shuffle_bytes += t.pre_bytes;
+    stats.pre_combine_shuffle_tuples += t.pre_tuples;
+    stats.shuffle_bytes += t.post_bytes;
+    stats.shuffle_tuples += t.post_tuples;
+    stats.map_compute_sec += t.map_sec;
+    stats.map_compute_max_sec = std::max(stats.map_compute_max_sec, t.map_sec);
+    stats.shuffle_build_sec += t.build_sec;
+  }
+
+  // --- Shuffle build: merge task-local buffers into per-reduce-task
+  // group views. Fixed split order per reduce task keeps every key group's
+  // value order scheduling-independent. ---
+  std::vector<std::map<K, std::vector<V>>> groups(job.num_reduce_tasks);
+  std::vector<double> merge_sec(job.num_reduce_tasks, 0.0);
+  Stopwatch shuffle_wall;
+  {
+    obs::TraceSpan span(job.telemetry, "mr.shuffle");
+    ParallelForEach(job.num_reduce_tasks, [&](size_t task) {
+      Stopwatch merge_watch;
+      std::map<K, std::vector<V>>& group = groups[task];
+      for (MapTaskState& t : tasks) {
+        for (auto& [key, value] : t.parts[task]) {
+          group[key].push_back(std::move(value));
+        }
+      }
+      merge_sec[task] = merge_watch.ElapsedSeconds();
+    });
+  }
+  stats.shuffle_wall_sec = shuffle_wall.ElapsedSeconds();
+  for (double sec : merge_sec) stats.shuffle_build_sec += sec;
+
+  // --- Reduce phase (executed for real, timed per task). ---
+  std::vector<std::vector<Out>> outputs(job.num_reduce_tasks);
+  std::vector<double> reduce_sec(job.num_reduce_tasks, 0.0);
+  Stopwatch reduce_wall;
+  {
+    obs::TraceSpan span(job.telemetry, "mr.reduce");
+    ParallelForEach(job.num_reduce_tasks, [&](size_t task) {
+      Stopwatch reduce_watch;
+      if (has_task_reduce) {
+        job.task_reduce_fn(groups[task], &outputs[task]);
+      } else {
+        for (auto& [key, values] : groups[task]) {
+          job.reduce_fn(key, values, &outputs[task]);
+        }
+      }
+      reduce_sec[task] = reduce_watch.ElapsedSeconds();
+    });
+  }
+  stats.reduce_wall_sec = reduce_wall.ElapsedSeconds();
+  for (double sec : reduce_sec) {
+    stats.reduce_compute_sec += sec;
+    stats.reduce_compute_max_sec = std::max(stats.reduce_compute_max_sec, sec);
+  }
+  for (std::vector<Out>& task_output : outputs) {  // Fixed task order.
+    for (Out& out : task_output) result.output.push_back(std::move(out));
+  }
+  stats.output_records = result.output.size();
+
+  if (job.telemetry != nullptr && job.telemetry->enabled()) {
+    job.telemetry->AddCounter("mr.map_tasks", stats.num_map_tasks);
+    job.telemetry->AddCounter("mr.reduce_tasks", stats.num_reduce_tasks);
+    job.telemetry->AddCounter("mr.shuffle_bytes", stats.shuffle_bytes);
+    job.telemetry->AddCounter("mr.shuffle_tuples", stats.shuffle_tuples);
+    job.telemetry->AddCounter("mr.shuffle_bytes_precombine",
+                              stats.pre_combine_shuffle_bytes);
+    job.telemetry->AddCounter("mr.shuffle_tuples_precombine",
+                              stats.pre_combine_shuffle_tuples);
+    job.telemetry->AddCounter("mr.output_records", stats.output_records);
+  }
   return result;
 }
 

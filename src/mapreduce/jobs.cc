@@ -57,13 +57,20 @@ std::unordered_map<uint64_t, double> CombineSplit(
   return sums;
 }
 
-// Map function shared by the traditional jobs: combine then ship
-// 96-bit (keyid, partial sum) tuples.
+// Map function shared by the traditional jobs: ship one 96-bit
+// (keyid, score) tuple per raw event; partial aggregation is the engine's
+// combine_fn (below), so the stats carry pre- vs post-combine volume.
 void TraditionalMap(const std::vector<ScoreEvent>& split,
                     Emitter<uint64_t, double>* emitter) {
-  for (const auto& [key, sum] : CombineSplit(split)) {
-    emitter->Emit(key, sum);
-  }
+  for (const ScoreEvent& e : split) emitter->Emit(e.key, e.score);
+}
+
+// In-mapper combiner: fold one map task's scores for a key into their sum
+// (emit order, so the bits match an event-order accumulation).
+double SumCombiner(const uint64_t&, std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
 }
 
 uint64_t KeyValueTupleBytes(const uint64_t&, const double&) {
@@ -74,18 +81,12 @@ uint64_t KeyValueTupleBytes(const uint64_t&, const double&) {
 
 Result<TopKJobResult> RunTraditionalTopKJob(
     const std::vector<std::vector<ScoreEvent>>& splits, size_t k,
-    bool combine) {
+    bool combine, obs::Telemetry* telemetry) {
   Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
-  if (combine) {
-    job.map_fn = TraditionalMap;
-  } else {
-    // No combiner: one shuffled tuple per raw event.
-    job.map_fn = [](const std::vector<ScoreEvent>& split,
-                    Emitter<uint64_t, double>* emitter) {
-      for (const ScoreEvent& e : split) emitter->Emit(e.key, e.score);
-    };
-  }
+  job.map_fn = TraditionalMap;
+  if (combine) job.combine_fn = SumCombiner;
   job.tuple_bytes = KeyValueTupleBytes;
+  job.telemetry = telemetry;
   job.task_reduce_fn = [k](std::map<uint64_t, std::vector<double>>& groups,
                            std::vector<outlier::Outlier>* out) {
     // Merge, then select the k largest aggregates (the reducer-side sort
@@ -114,10 +115,13 @@ Result<TopKJobResult> RunTraditionalTopKJob(
 }
 
 Result<OutlierJobResult> RunTraditionalOutlierJob(
-    const std::vector<std::vector<ScoreEvent>>& splits, size_t n, size_t k) {
+    const std::vector<std::vector<ScoreEvent>>& splits, size_t n, size_t k,
+    obs::Telemetry* telemetry) {
   Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
   job.map_fn = TraditionalMap;
+  job.combine_fn = SumCombiner;
   job.tuple_bytes = KeyValueTupleBytes;
+  job.telemetry = telemetry;
   double mode = 0.0;
   job.task_reduce_fn = [n, k, &mode](
                            std::map<uint64_t, std::vector<double>>& groups,
@@ -199,6 +203,7 @@ Result<CsJobResult> RunCsOutlierJob(
                         compressor.CompressEach(slice_views));
 
   Job<ScoreEvent, uint32_t, double, outlier::Outlier> job;
+  job.telemetry = options.telemetry;
   job.map_fn = [&](const std::vector<ScoreEvent>& split,
                    Emitter<uint32_t, double>* emitter) {
     // The engine maps splits in place, so the element address recovers the

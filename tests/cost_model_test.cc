@@ -80,6 +80,74 @@ TEST(CostModelTest, MoreWorkersFasterMapPhase) {
   EXPECT_GT(few.MapPhaseSeconds(stats), many.MapPhaseSeconds(stats));
 }
 
+TEST(CostModelTest, TupleCostChargedOncePerSide) {
+  // The per-tuple CPU cost is two explicit terms: serialization on the map
+  // side, deserialization on the reduce side — never the same constant
+  // silently charged twice. Zeroing one side must remove exactly that
+  // side's share and leave the other untouched.
+  ClusterCostModel model;
+  model.num_workers = 10;
+  JobStats stats;
+  stats.num_map_tasks = 10;
+  stats.num_reduce_tasks = 10;
+  stats.shuffle_tuples = 10'000'000;
+
+  ClusterCostModel no_serialize = model;
+  no_serialize.serialize_per_tuple_cpu_sec = 0.0;
+  ClusterCostModel no_deserialize = model;
+  no_deserialize.deserialize_per_tuple_cpu_sec = 0.0;
+
+  const double tuple_share = 10'000'000 * 10.0e-6 / 10.0;  // 10 s
+  EXPECT_NEAR(model.MapPhaseSeconds(stats) -
+                  no_serialize.MapPhaseSeconds(stats),
+              tuple_share, 1e-9);
+  EXPECT_NEAR(model.ReducePhaseSeconds(stats) -
+                  no_deserialize.ReducePhaseSeconds(stats),
+              tuple_share, 1e-9);
+  // And the map phase never charges the deserialize term (nor vice versa).
+  EXPECT_DOUBLE_EQ(model.MapPhaseSeconds(stats),
+                   no_deserialize.MapPhaseSeconds(stats));
+  EXPECT_DOUBLE_EQ(model.ReducePhaseSeconds(stats),
+                   no_serialize.ReducePhaseSeconds(stats));
+}
+
+TEST(CostModelTest, ShuffleBuildChargedInReducePhase) {
+  ClusterCostModel model;
+  model.compute_scale = 2.0;
+  JobStats with_build = BaseStats();
+  with_build.shuffle_build_sec = 3.0;
+  JobStats without = BaseStats();
+  // Grouping cost lands in the reduce phase (Hadoop's merge/sort side),
+  // scaled by compute_scale and the reduce parallelism (1 reduce task).
+  EXPECT_NEAR(model.ReducePhaseSeconds(with_build) -
+                  model.ReducePhaseSeconds(without),
+              3.0 * 2.0 / 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model.MapPhaseSeconds(with_build),
+                   model.MapPhaseSeconds(without));
+}
+
+TEST(CostModelTest, StragglerFloorsPhaseCompute) {
+  // A phase is never faster than its slowest task, regardless of workers.
+  ClusterCostModel model;
+  model.num_workers = 10;
+  JobStats balanced = BaseStats();  // 5 s over 10 tasks
+  balanced.map_compute_max_sec = 0.5;
+  JobStats skewed = BaseStats();
+  skewed.map_compute_max_sec = 2.0;  // one task holds 2 of the 5 seconds
+  EXPECT_NEAR(model.MapPhaseSeconds(skewed) -
+                  model.MapPhaseSeconds(balanced),
+              2.0 - 0.5, 1e-9);
+
+  JobStats reduce_skewed = BaseStats();
+  reduce_skewed.num_reduce_tasks = 10;
+  reduce_skewed.reduce_compute_max_sec = 1.5;  // sum/parallelism = 0.2
+  JobStats reduce_balanced = reduce_skewed;
+  reduce_balanced.reduce_compute_max_sec = 0.2;
+  EXPECT_NEAR(model.ReducePhaseSeconds(reduce_skewed) -
+                  model.ReducePhaseSeconds(reduce_balanced),
+              1.5 - 0.2, 1e-9);
+}
+
 TEST(CostModelTest, ZeroTasksZeroTime) {
   ClusterCostModel model;
   JobStats stats;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "dist/comm.h"
 #include "outlier/metrics.h"
 #include "workload/generators.h"
@@ -211,6 +212,65 @@ TEST(TraditionalTopKJobTest, FewerResultsThanKWhenKeySpaceSmall) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.Value().top.size(), 2u);
   EXPECT_EQ(result.Value().top[0].key_index, 0u);
+}
+
+TEST(TraditionalTopKJobTest, CombinerAccountsPreAndPostVolume) {
+  JobSetup setup = MakeSetup(300, 10, 4, 6, 17);
+  auto combined = RunTraditionalTopKJob(setup.splits, 5, /*combine=*/true);
+  ASSERT_TRUE(combined.ok());
+  // Pre-combine: one 96-bit tuple per raw event.
+  uint64_t raw_events = 0;
+  for (const auto& split : setup.splits) raw_events += split.size();
+  EXPECT_EQ(combined.Value().stats.pre_combine_shuffle_tuples, raw_events);
+  EXPECT_EQ(combined.Value().stats.pre_combine_shuffle_bytes,
+            raw_events * dist::kKeyValueBytes);
+  // Post-combine: one tuple per (map task, distinct key).
+  uint64_t distinct = 0;
+  for (const auto& split : setup.splits) {
+    std::set<uint64_t> keys;
+    for (const auto& e : split) keys.insert(e.key);
+    distinct += keys.size();
+  }
+  EXPECT_EQ(combined.Value().stats.shuffle_tuples, distinct);
+  EXPECT_EQ(combined.Value().stats.shuffle_bytes,
+            distinct * dist::kKeyValueBytes);
+}
+
+TEST(CsOutlierJobTest, BitIdenticalAcrossThreadLimits) {
+  // The parallel engine must not move a single bit of the CS job's
+  // output: outliers, recovered mode, and byte accounting are pinned
+  // across parallelism limits against the sequential run.
+  JobSetup setup = MakeSetup(500, 12, 6, 3, 29);
+  CsJobOptions options;
+  options.n = 500;
+  options.m = 120;
+  options.k = 5;
+  options.seed = 11;
+  options.iterations = 16;
+
+  const size_t previous_limit = GetParallelismLimit();
+  SetParallelismLimit(1);
+  auto sequential = RunCsOutlierJob(setup.splits, options);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t limit : {2u, 8u}) {
+    SetParallelismLimit(limit);
+    auto parallel = RunCsOutlierJob(setup.splits, options);
+    ASSERT_TRUE(parallel.ok());
+    const auto& a = sequential.Value();
+    const auto& b = parallel.Value();
+    ASSERT_EQ(a.outliers.outliers.size(), b.outliers.outliers.size());
+    for (size_t i = 0; i < a.outliers.outliers.size(); ++i) {
+      EXPECT_EQ(a.outliers.outliers[i].key_index,
+                b.outliers.outliers[i].key_index);
+      EXPECT_EQ(a.outliers.outliers[i].value, b.outliers.outliers[i].value);
+    }
+    EXPECT_EQ(a.outliers.mode, b.outliers.mode);
+    EXPECT_EQ(a.recovery.mode, b.recovery.mode);
+    EXPECT_EQ(a.stats.shuffle_bytes, b.stats.shuffle_bytes);
+    EXPECT_EQ(a.stats.shuffle_tuples, b.stats.shuffle_tuples);
+    EXPECT_EQ(a.stats.input_bytes, b.stats.input_bytes);
+  }
+  SetParallelismLimit(previous_limit);
 }
 
 TEST(CsOutlierJobTest, InvalidOptionsRejected) {
