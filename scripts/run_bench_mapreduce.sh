@@ -11,9 +11,19 @@
 # byte-identical — and the bench itself exits nonzero if any thread limit
 # moves a single output bit.
 #
+# The script then gates on the reported map_wall_speedup (8 threads vs 1):
+# a committed, core-count-aware threshold so the PR 5 regression class —
+# parallel executor, serial data path — is caught mechanically. On >= 8
+# cores the map phase must scale >= 1.5x; on 2-7 cores >= 1.1x; on a
+# single core real scaling is impossible, so the threshold degrades to a
+# contention guard: 8 oversubscribed threads must still reach >= 0.7x of
+# the 1-thread wall (a lock or allocator serialization in the emit path
+# drags this far lower).
+#
 # Usage: scripts/run_bench_mapreduce.sh
 #   BUILD_DIR=<dir>        build directory (default: build)
 #   MAPREDUCE_FLAGS=<f>    extra bench_mapreduce flags (e.g. "--quick=true")
+#   MIN_SPEEDUP=<x>        override the committed speedup threshold
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,6 +52,30 @@ if ! diff <(grep -E 'output_digest|bit_identical' "$TMP_A") \
   exit 1
 fi
 echo "MapReduce determinism check passed: digests identical across two runs."
+
+# Speedup gate: committed thresholds by core count (MIN_SPEEDUP overrides).
+CORES="$(nproc)"
+if [[ -z "${MIN_SPEEDUP:-}" ]]; then
+  if [[ "$CORES" -ge 8 ]]; then
+    MIN_SPEEDUP=1.5
+  elif [[ "$CORES" -ge 2 ]]; then
+    MIN_SPEEDUP=1.1
+  else
+    MIN_SPEEDUP=0.7
+  fi
+fi
+SPEEDUP="$(sed -n 's/.*"map_wall_speedup": \([0-9.]*\).*/\1/p' "$TMP_A")"
+if [[ -z "$SPEEDUP" ]]; then
+  echo "FAIL: no map_wall_speedup in bench output" >&2
+  exit 1
+fi
+if ! awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN {exit !(s >= min)}'; then
+  echo "FAIL: map_wall_speedup $SPEEDUP below threshold $MIN_SPEEDUP" \
+       "($CORES cores)" >&2
+  exit 1
+fi
+echo "MapReduce speedup gate passed: ${SPEEDUP}x >= ${MIN_SPEEDUP}x" \
+     "($CORES cores)."
 
 cp "$TMP_A" "$ROOT/BENCH_mapreduce.json"
 echo "Wrote $ROOT/BENCH_mapreduce.json"

@@ -30,10 +30,29 @@ ctest --output-on-failure -j "$(nproc)" -R 'Fault|Degraded|RetryPolicy'
 
 # Parallel MapReduce engine pass: map tasks, shuffle build, and reduce
 # tasks all run concurrently on the pool now, so the engine/jobs suites
-# (including the cross-thread-limit bit-identity sweeps) get an explicit
-# rerun under the sanitizer even when the main invocation was filtered.
-ctest --output-on-failure -j "$(nproc)" \
-  -R 'EngineTest|EngineDeterminism|DefaultPartition|CostModel|JobTest|Jobs|ParallelFor'
+# (including the cross-thread-limit bit-identity sweeps) and the columnar
+# shuffle substrate (arena pages, column chunks, interner, radix scatter —
+# placement-new/manual-destruction code that ASan, not just TSan, must
+# see) get an explicit rerun even when the main invocation was filtered.
+ENGINE_FILTER='EngineTest|EngineDeterminism|EngineStress|DefaultPartition'
+ENGINE_FILTER+='|CostModel|JobTest|Jobs|ParallelFor'
+ENGINE_FILTER+='|Arena|ColumnChunks|KeyInterner|ReduceGroups|ScatterPartitions'
+ctest --output-on-failure -j "$(nproc)" -R "$ENGINE_FILTER"
+
+# The same engine suite under the *other* sanitizer: the arena hands out
+# raw uninitialized pages and ColumnChunks runs element destructors by
+# hand, so an address-safety pass is required even when this invocation
+# asked for TSan (and vice versa — the engine is the one subsystem that
+# always gets both).
+OTHER_SAN=$([[ "$SAN" == thread ]] && echo address || echo thread)
+OTHER_BUILD_DIR="${OTHER_BUILD_DIR:-$ROOT/build-${OTHER_SAN}san-engine}"
+cmake -B "$OTHER_BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSOD_SANITIZE="$OTHER_SAN"
+cmake --build "$OTHER_BUILD_DIR" -j "$(nproc)" --target \
+  engine_test shuffle_test jobs_test cost_model_test parallel_test
+(cd "$OTHER_BUILD_DIR" &&
+ ctest --output-on-failure -j "$(nproc)" -R "$ENGINE_FILTER")
 
 # SIMD kernel + batch sketching tests again under the same sanitizer, but
 # with the portable dispatch path forced at compile time, so both sides of

@@ -1,0 +1,39 @@
+#include "common/arena.h"
+
+#include <cstdint>
+
+namespace csod {
+
+Arena::Arena(size_t page_bytes)
+    : page_bytes_(page_bytes == 0 ? kDefaultPageBytes : page_bytes) {}
+
+Arena::~Arena() = default;
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  if (alignment == 0) alignment = 1;
+  // Align the bump pointer within the current page.
+  uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+  uintptr_t aligned = (p + (alignment - 1)) & ~uintptr_t(alignment - 1);
+  if (cur_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+    // The new page comes max_align-aligned from operator new[], so
+    // re-aligning inside it is a no-op for any supported alignment.
+    AddPage(bytes);
+    aligned = reinterpret_cast<uintptr_t>(cur_);
+  }
+  cur_ = reinterpret_cast<unsigned char*>(aligned + bytes);
+  allocated_bytes_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::AddPage(size_t min_bytes) {
+  const size_t capacity = min_bytes > page_bytes_ ? min_bytes : page_bytes_;
+  Page page;
+  page.data = std::make_unique<unsigned char[]>(capacity);
+  page.capacity = capacity;
+  cur_ = page.data.get();
+  end_ = cur_ + capacity;
+  pages_.push_back(std::move(page));
+}
+
+}  // namespace csod

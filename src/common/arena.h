@@ -1,0 +1,189 @@
+#ifndef CSOD_COMMON_ARENA_H_
+#define CSOD_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace csod {
+
+/// \brief Page-based bump allocator for task-local scratch data.
+///
+/// One `Arena` backs one unit of work (a map task's shuffle buffers, a
+/// reduce task's group build): allocation is a pointer bump within the
+/// current page, a new page is grabbed only when the current one is full,
+/// and everything is released at once when the arena dies. Compared to
+/// per-element `new` (the `std::map` node churn the old shuffle paid per
+/// key) this costs one malloc per `page_bytes` of data and never frees in
+/// the hot path — which is also what keeps concurrent map tasks from
+/// serializing on the global allocator lock.
+///
+/// Not thread-safe: each task owns its arena. Memory is returned raw;
+/// callers placement-new non-trivial objects and own their destruction
+/// (ColumnChunks below does both).
+class Arena {
+ public:
+  static constexpr size_t kDefaultPageBytes = size_t{256} * 1024;
+  static constexpr size_t kMaxAlignment = alignof(std::max_align_t);
+
+  explicit Arena(size_t page_bytes = kDefaultPageBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `alignment`
+  /// (power of two, at most kMaxAlignment). Requests larger than the page
+  /// size get a dedicated page — they are legal, just not amortized.
+  void* Allocate(size_t bytes, size_t alignment);
+
+  /// Typed convenience: uninitialized storage for `count` `T`s.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(alignof(T) <= kMaxAlignment,
+                  "over-aligned types are not supported");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Payload bytes handed out so far (excludes alignment padding).
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  /// Pages grabbed from the system allocator so far.
+  size_t page_count() const { return pages_.size(); }
+  size_t page_bytes() const { return page_bytes_; }
+
+ private:
+  struct Page {
+    std::unique_ptr<unsigned char[]> data;
+    size_t capacity = 0;
+  };
+
+  void AddPage(size_t min_bytes);
+
+  size_t page_bytes_;
+  std::vector<Page> pages_;
+  unsigned char* cur_ = nullptr;
+  unsigned char* end_ = nullptr;
+  uint64_t allocated_bytes_ = 0;
+};
+
+/// \brief Chunked, arena-backed typed column: the struct-of-arrays
+/// building block of the shuffle (one column for keys, one for values).
+///
+/// Appends bump a pointer within the current chunk; a full chunk is left
+/// in place (elements never move, unlike `std::vector` growth, so there is
+/// no O(n) realloc-and-copy and readers can hold spans across appends) and
+/// a fresh chunk is carved from the arena. Elements are placement-newed on
+/// append and destroyed by the column's destructor when `T` needs it.
+///
+/// Iteration is chunk-wise (`ForEachChunk`) so hot loops run over
+/// contiguous memory with no per-element indirection.
+template <typename T>
+class ColumnChunks {
+ public:
+  static constexpr size_t kDefaultChunkElems = 4096;
+
+  /// `chunk_elems` fixes the chunk granularity: the first chunk allocated
+  /// holds exactly `chunk_elems` elements, as does every later one. Pass
+  /// the exact final size when it is known up front (scatter destinations)
+  /// to get a single contiguous chunk.
+  explicit ColumnChunks(Arena* arena,
+                        size_t chunk_elems = kDefaultChunkElems)
+      : arena_(arena), chunk_elems_(chunk_elems == 0 ? 1 : chunk_elems) {}
+
+  ColumnChunks(const ColumnChunks&) = delete;
+  ColumnChunks& operator=(const ColumnChunks&) = delete;
+  ColumnChunks(ColumnChunks&& other) noexcept
+      : arena_(other.arena_),
+        chunk_elems_(other.chunk_elems_),
+        chunks_(std::move(other.chunks_)),
+        cur_(other.cur_),
+        cur_end_(other.cur_end_),
+        size_(other.size_) {
+    other.chunks_.clear();
+    other.cur_ = other.cur_end_ = nullptr;
+    other.size_ = 0;
+  }
+
+  ~ColumnChunks() { DestroyAll(); }
+
+  void Append(T value) {
+    if (cur_ == cur_end_) Grow();
+    ::new (static_cast<void*>(cur_)) T(std::move(value));
+    ++cur_;
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t chunk_count() const { return chunks_.size(); }
+  size_t chunk_elems() const { return chunk_elems_; }
+
+  /// Element `i` in append order (test/diagnostic access; hot paths use
+  /// ForEachChunk or the chunk accessors).
+  T& operator[](size_t i) {
+    return chunks_[i / chunk_elems_][i % chunk_elems_];
+  }
+  const T& operator[](size_t i) const {
+    return chunks_[i / chunk_elems_][i % chunk_elems_];
+  }
+
+  /// Start of chunk `c` (contiguous for chunk_size(c) elements).
+  T* chunk_data(size_t c) { return chunks_[c]; }
+  const T* chunk_data(size_t c) const { return chunks_[c]; }
+  /// Live element count of chunk `c` (== chunk_elems() except possibly
+  /// the last chunk).
+  size_t chunk_size(size_t c) const { return ChunkSize(c); }
+
+  /// Invokes `fn(T* data, size_t count)` per chunk, in append order.
+  template <typename Fn>
+  void ForEachChunk(Fn&& fn) {
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      const size_t count = ChunkSize(c);
+      if (count > 0) fn(chunks_[c], count);
+    }
+  }
+  template <typename Fn>
+  void ForEachChunk(Fn&& fn) const {
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      const size_t count = ChunkSize(c);
+      if (count > 0) fn(static_cast<const T*>(chunks_[c]), count);
+    }
+  }
+
+ private:
+  size_t ChunkSize(size_t c) const {
+    if (c + 1 < chunks_.size()) return chunk_elems_;
+    return size_ - (chunks_.size() - 1) * chunk_elems_;
+  }
+
+  void Grow() {
+    T* chunk = arena_->AllocateArray<T>(chunk_elems_);
+    chunks_.push_back(chunk);
+    cur_ = chunk;
+    cur_end_ = chunk + chunk_elems_;
+  }
+
+  void DestroyAll() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (size_t c = 0; c < chunks_.size(); ++c) {
+        const size_t count = ChunkSize(c);
+        for (size_t i = 0; i < count; ++i) chunks_[c][i].~T();
+      }
+    }
+  }
+
+  Arena* arena_;
+  size_t chunk_elems_;
+  std::vector<T*> chunks_;
+  T* cur_ = nullptr;
+  T* cur_end_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace csod
+
+#endif  // CSOD_COMMON_ARENA_H_

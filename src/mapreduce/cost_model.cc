@@ -41,8 +41,9 @@ double ClusterCostModel::ReducePhaseSeconds(const JobStats& stats) const {
       std::min(num_workers, std::max<size_t>(stats.num_reduce_tasks, 1)));
   const double merge_sec = static_cast<double>(stats.shuffle_bytes) /
                            disk_bandwidth_bytes_per_sec / parallelism;
-  // Measured grouping cost (combine + partition + merge into sorted
-  // groups) — the reduce side's sort/merge in Hadoop terms.
+  // Measured grouping cost (combine + radix partition + merge into
+  // sorted interned groups) — the reduce side's sort/merge in Hadoop
+  // terms.
   const double grouping_sec =
       stats.shuffle_build_sec * compute_scale / parallelism;
   const double compute_sec =

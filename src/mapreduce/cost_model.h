@@ -23,9 +23,11 @@ struct JobStats {
   double reduce_compute_sec = 0.0;
   /// Seconds of the single slowest reduce task.
   double reduce_compute_max_sec = 0.0;
-  /// Seconds spent building the shuffle (sum over tasks): in-mapper
-  /// combining, partitioning into reduce-task buffers, and the merge into
-  /// sorted per-reduce-task group views.
+  /// Seconds spent building the shuffle (sum over tasks): map-side
+  /// in-mapper combining, the radix partition pass (partition function +
+  /// stable scatter into per-reduce-task columns), batched byte
+  /// accounting, and the reduce-side merge of the partition columns into
+  /// sorted, interned key groups.
   double shuffle_build_sec = 0.0;
   /// Engine wall-clock seconds of each phase *on this machine* under the
   /// current parallelism limit (bench/speedup reporting; the cost model

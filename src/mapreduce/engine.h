@@ -4,42 +4,57 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "mapreduce/cost_model.h"
+#include "mapreduce/shuffle.h"
 #include "obs/telemetry.h"
 
 namespace csod::mr {
 
-/// \brief Collects (key, value) pairs emitted by a map task and accounts
-/// their shuffle size.
+/// \brief Collects (key, value) pairs emitted by a map task into columnar
+/// (struct-of-arrays) arena-backed buffers.
+///
+/// `Emit` is two pointer-bump appends — one into the key column, one into
+/// the value column. There is no per-tuple allocation (chunks are carved
+/// from the task's arena every kDefaultChunkElems tuples), no `std::pair`
+/// materialization, and no byte-accounting callback in the loop: shuffle
+/// bytes are accounted in one batched pass after `map_fn` returns
+/// (tuples × Job::fixed_tuple_bytes, or one deferred sweep calling
+/// Job::tuple_bytes per tuple).
 template <typename K, typename V>
 class Emitter {
  public:
-  /// `tuple_bytes(key, value)` gives the on-wire size of one pair.
-  explicit Emitter(std::function<uint64_t(const K&, const V&)> tuple_bytes)
-      : tuple_bytes_(std::move(tuple_bytes)) {}
+  /// `arena` must outlive the emitter. `chunk_elems` overrides the column
+  /// chunk granularity (tests use tiny chunks to exercise boundaries).
+  explicit Emitter(Arena* arena,
+                   size_t chunk_elems = ColumnChunks<K>::kDefaultChunkElems)
+      : keys_(arena, chunk_elems), values_(arena, chunk_elems) {}
 
   /// Emits one intermediate pair.
   void Emit(K key, V value) {
-    bytes_ += tuple_bytes_(key, value);
-    pairs_.emplace_back(std::move(key), std::move(value));
+    keys_.Append(std::move(key));
+    values_.Append(std::move(value));
   }
 
-  uint64_t bytes() const { return bytes_; }
-  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  /// Tuples emitted so far.
+  size_t size() const { return keys_.size(); }
+
+  /// The columns (engine internals and tests).
+  ColumnChunks<K>& keys() { return keys_; }
+  ColumnChunks<V>& values() { return values_; }
 
  private:
-  std::function<uint64_t(const K&, const V&)> tuple_bytes_;
-  uint64_t bytes_ = 0;
-  std::vector<std::pair<K, V>> pairs_;
+  ColumnChunks<K> keys_;
+  ColumnChunks<V> values_;
 };
 
 /// \brief Default reduce-task partitioner: a fixed splitmix64-style mixer.
@@ -75,6 +90,11 @@ size_t DefaultPartition(const K& key) {
 /// not key-local, e.g. CS recovery over the complete measurement vector)
 /// must be provided.
 ///
+/// Type requirements: `K` must be copyable, equality- and less-than-
+/// comparable, and hashable (integral, or via `std::hash`); `V` must be
+/// movable and default-constructible. Group views hand reducers `Span<V>`
+/// windows over the shuffle's value column — no per-key container exists.
+///
 /// Thread safety: the engine runs map tasks concurrently, and reduce tasks
 /// concurrently, under the global parallelism limit
 /// (common/parallel.h). `map_fn`, `combine_fn`, `partition_fn`,
@@ -88,11 +108,15 @@ struct Job {
   /// Map task body: consumes one split, emits intermediate pairs.
   std::function<void(const std::vector<Input>&, Emitter<K, V>*)> map_fn;
 
-  /// Per-key reduce: values of one key group -> output records.
-  std::function<void(const K&, std::vector<V>&, std::vector<Out>*)> reduce_fn;
+  /// Per-key reduce: values of one key group -> output records. Keys are
+  /// visited in sorted order; the span is a stable-ordered window over
+  /// the shuffle's value column (map-task order, emit order within a
+  /// task), mutable so reducers may move values out.
+  std::function<void(const K&, Span<V>, std::vector<Out>*)> reduce_fn;
 
-  /// Task-level reduce: the full key->values view of one reduce task.
-  std::function<void(std::map<K, std::vector<V>>&, std::vector<Out>*)>
+  /// Task-level reduce: the full grouped view of one reduce task
+  /// (iteration order = sorted keys).
+  std::function<void(ReduceGroups<K, V>&, std::vector<Out>*)>
       task_reduce_fn;
 
   /// Optional in-mapper combiner (the paper's "partial aggregation for
@@ -102,10 +126,18 @@ struct Job {
   /// (`JobStats::pre_combine_shuffle_{bytes,tuples}`, what an
   /// uncombined job would have shipped) and after it
   /// (`JobStats::shuffle_{bytes,tuples}`, what actually crosses the wire).
-  std::function<V(const K&, std::vector<V>&)> combine_fn;
+  std::function<V(const K&, Span<V>)> combine_fn;
 
-  /// On-wire size of one intermediate pair (shuffle accounting). Required.
+  /// On-wire size of one intermediate pair (shuffle accounting), applied
+  /// in a deferred batch pass — never inside the emit loop. Exactly one
+  /// of `tuple_bytes` / `fixed_tuple_bytes` must be set.
   std::function<uint64_t(const K&, const V&)> tuple_bytes;
+
+  /// Constant on-wire tuple size (bytes): the fast path for the common
+  /// fixed-width wire formats (dist::kKeyValueBytes,
+  /// dist::kMeasurementBytes). When nonzero, byte accounting is a single
+  /// multiply per batch and `tuple_bytes` must be unset.
+  uint64_t fixed_tuple_bytes = 0;
 
   /// On-disk size of one input record (input IO accounting).
   uint64_t input_record_bytes = 16;
@@ -115,11 +147,15 @@ struct Job {
 
   /// Optional custom partitioner: key -> reduce task (the engine applies
   /// `% num_reduce_tasks`). Defaults to the splitmix64 mixer
-  /// (`DefaultPartition`), never raw `std::hash`.
+  /// (`DefaultPartition`), never raw `std::hash`. The default is
+  /// dispatched as an inlined template — a custom function pays one
+  /// `std::function` call per tuple, applied exactly once in the radix
+  /// pass.
   std::function<size_t(const K&)> partition_fn;
 
-  /// Telemetry sink: `mr.{map,shuffle,reduce}` spans plus shuffle volume
-  /// counters. Null or disabled is free.
+  /// Telemetry sink: `mr.{map,shuffle,reduce}` spans, shuffle volume
+  /// counters, and `mr.shuffle.{build,merge}_ms` per-task timing
+  /// histograms. Null or disabled is free.
   obs::Telemetry* telemetry = nullptr;
 };
 
@@ -131,31 +167,108 @@ struct JobResult {
   JobStats stats;
 };
 
+namespace internal {
+
+/// Batched shuffle byte accounting over zipped column runs:
+/// `count * fixed` when the job declares a constant tuple size, else one
+/// deferred sweep calling `tuple_bytes` per tuple (still hoisted out of
+/// the emit hot loop).
+template <typename K, typename V, typename ForEachRun>
+uint64_t AccountTupleBytes(
+    uint64_t fixed_tuple_bytes,
+    const std::function<uint64_t(const K&, const V&)>& tuple_bytes,
+    size_t total_tuples, ForEachRun&& for_each_run) {
+  if (fixed_tuple_bytes > 0) {
+    return static_cast<uint64_t>(total_tuples) * fixed_tuple_bytes;
+  }
+  uint64_t bytes = 0;
+  for_each_run([&](const K* keys, V* values, size_t count) {
+    for (size_t i = 0; i < count; ++i) bytes += tuple_bytes(keys[i], values[i]);
+  });
+  return bytes;
+}
+
+/// One map task's post-map state: the arena that owns every buffer, the
+/// emitter columns, optional combined tuples, and the per-reduce-task
+/// partition blocks the reduce side merges from.
+template <typename K, typename V>
+struct MapTaskState {
+  std::unique_ptr<Arena> arena;
+  std::unique_ptr<Emitter<K, V>> emitter;
+  // Combined (one tuple per distinct key) when the job has a combiner.
+  std::vector<K> combined_keys;
+  std::vector<V> combined_values;
+  // Scatter destinations (num_reduce_tasks > 1).
+  std::vector<ColumnChunks<K>> part_keys;
+  std::vector<ColumnChunks<V>> part_values;
+  // Views consumed by the shuffle merge, one per reduce task.
+  std::vector<PartitionBlock<K, V>> blocks;
+
+  double map_sec = 0.0;    // map_fn body only
+  double build_sec = 0.0;  // combine + radix partition
+  uint64_t input_bytes = 0;
+  uint64_t pre_bytes = 0;
+  uint64_t pre_tuples = 0;
+  uint64_t post_bytes = 0;
+  uint64_t post_tuples = 0;
+};
+
+/// Builds one map task's partition blocks from the tuples it will ship
+/// (the emitter columns, or the combined tuples): zero-copy column views
+/// for a single reduce task, radix scatter otherwise. `part_fn` is a
+/// template parameter so the DefaultPartition path is fully inlined.
+template <typename K, typename V, typename PartFn, typename ForEachRun>
+void BuildPartitionBlocks(MapTaskState<K, V>* t, size_t num_reduce_tasks,
+                          size_t total_tuples, const PartFn& part_fn,
+                          ForEachRun&& for_each_run,
+                          std::vector<TupleRun<K, V>>&& single_part_runs) {
+  if (num_reduce_tasks == 1) {
+    t->blocks.resize(1);
+    t->blocks[0].runs = std::move(single_part_runs);
+    t->blocks[0].count = total_tuples;
+    return;
+  }
+  ScatterPartitions<K, V>(total_tuples, num_reduce_tasks, t->arena.get(),
+                          part_fn, for_each_run, &t->part_keys,
+                          &t->part_values, &t->blocks);
+}
+
+}  // namespace internal
+
 /// \brief Executes a Job over the given input splits (one map task per
-/// split), with an exact byte-accounted shuffle.
+/// split), with an exact byte-accounted columnar shuffle.
 ///
 /// Execution is parallel on the persistent-pool substrate, in three
 /// phases, each a deterministic task-parallel loop (ParallelForEach):
-///  1. *Map*: every map task runs concurrently with task-local partition
-///     buffers (one pair vector per reduce task). `map_compute_sec` times
-///     only the `map_fn` body; combining and partitioning are charged to
+///  1. *Map*: every map task runs concurrently with a task-local arena.
+///     `map_fn` emits into columnar key/value chunks (no per-tuple
+///     allocation); `map_compute_sec` times only the `map_fn` body.
+///     Combining (hash-grouping over interned key ordinals, folded in
+///     emit order), the radix partition pass (partition function applied
+///     once per tuple), and batched byte accounting are charged to
 ///     `shuffle_build_sec`.
-///  2. *Shuffle build*: per-reduce-task group views are merged from the
-///     task-local buffers in fixed split order, so the value order inside
-///     every key group — and therefore every downstream float sum — is
-///     identical to a sequential engine's, at any thread count.
-///  3. *Reduce*: reduce tasks run concurrently into task-local output
-///     vectors, concatenated in task order.
-/// Output is bit-identical at any parallelism limit; reduce tasks process
-/// keys in sorted order.
+///  2. *Shuffle build*: per-reduce-task groups are built from the map
+///     tasks' partition blocks, walked in fixed split order — so the
+///     value order inside every key group (and therefore every downstream
+///     float sum) is identical to a sequential engine's at any thread
+///     count. Grouping is a two-pass intern + stable scatter into one
+///     contiguous value column per reduce task; no per-key node
+///     allocations, and values are moved, never copied.
+///  3. *Reduce*: reduce tasks run concurrently over their ReduceGroups
+///     (sorted key order, spans over the value column) into task-local
+///     output vectors, concatenated in task order.
+/// Output is bit-identical at any parallelism limit.
 template <typename Input, typename K, typename V, typename Out>
 Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
                               const Job<Input, K, V, Out>& job) {
   if (!job.map_fn) {
     return Status::InvalidArgument("RunJob: map_fn is required");
   }
-  if (!job.tuple_bytes) {
-    return Status::InvalidArgument("RunJob: tuple_bytes is required");
+  const bool has_bytes_fn = static_cast<bool>(job.tuple_bytes);
+  if (has_bytes_fn == (job.fixed_tuple_bytes > 0)) {
+    return Status::InvalidArgument(
+        "RunJob: exactly one of tuple_bytes / fixed_tuple_bytes must be "
+        "set");
   }
   const bool has_key_reduce = static_cast<bool>(job.reduce_fn);
   const bool has_task_reduce = static_cast<bool>(job.task_reduce_fn);
@@ -172,70 +285,88 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
   stats.num_map_tasks = splits.size();
   stats.num_reduce_tasks = job.num_reduce_tasks;
 
-  const auto partition = job.partition_fn
-                             ? job.partition_fn
-                             : std::function<size_t(const K&)>(
-                                   [](const K& k) { return DefaultPartition(k); });
-
   // --- Map phase (executed for real, timed per task). ---
-  // Each task owns its partition buffers and stat slots, so the parallel
+  // Each task owns its arena, buffers, and stat slots, so the parallel
   // loop writes disjoint state only.
-  struct MapTaskState {
-    std::vector<std::vector<std::pair<K, V>>> parts;  // [num_reduce_tasks]
-    double map_sec = 0.0;    // map_fn body only
-    double build_sec = 0.0;  // combine + partition
-    uint64_t input_bytes = 0;
-    uint64_t pre_bytes = 0;
-    uint64_t pre_tuples = 0;
-    uint64_t post_bytes = 0;
-    uint64_t post_tuples = 0;
-  };
-  std::vector<MapTaskState> tasks(splits.size());
+  using TaskState = internal::MapTaskState<K, V>;
+  std::vector<TaskState> tasks(splits.size());
   Stopwatch map_wall;
   {
     obs::TraceSpan span(job.telemetry, "mr.map");
     ParallelForEach(splits.size(), [&](size_t s) {
-      MapTaskState& t = tasks[s];
-      t.parts.resize(job.num_reduce_tasks);
-      Emitter<K, V> emitter(job.tuple_bytes);
+      TaskState& t = tasks[s];
+      t.arena = std::make_unique<Arena>();
+      t.emitter = std::make_unique<Emitter<K, V>>(t.arena.get());
       Stopwatch map_watch;
-      job.map_fn(splits[s], &emitter);
+      job.map_fn(splits[s], t.emitter.get());
       // The map stopwatch stops *before* combining/partitioning: grouping
       // cost belongs to shuffle_build_sec, not map_compute_sec (else the
       // cost model scales shuffle work by compute_scale).
       t.map_sec = map_watch.ElapsedSeconds();
       t.input_bytes =
           static_cast<uint64_t>(splits[s].size()) * job.input_record_bytes;
-      t.pre_bytes = emitter.bytes();
-      t.pre_tuples = emitter.pairs().size();
+
       Stopwatch build_watch;
-      if (job.combine_fn) {
-        // Group this task's pairs (emit order preserved per key), fold each
-        // key to one combined value, then partition the combined pairs.
-        std::map<K, std::vector<V>> local;
-        for (auto& [key, value] : emitter.pairs()) {
-          local[key].push_back(std::move(value));
+      const size_t emitted = t.emitter->size();
+      auto emit_runs = ColumnRuns(t.emitter->keys(), t.emitter->values());
+      t.pre_tuples = emitted;
+      t.pre_bytes = internal::AccountTupleBytes<K, V>(
+          job.fixed_tuple_bytes, job.tuple_bytes, emitted, emit_runs);
+
+      // The tuples this task ships: the raw emits, or — with a combiner —
+      // one hash-grouped, emit-order-folded tuple per distinct key.
+      auto build_blocks = [&](const auto& part_fn) {
+        if (job.combine_fn) {
+          auto groups =
+              ReduceGroups<K, V>::Build(emitted, /*sorted_keys=*/false,
+                                        emit_runs);
+          t.combined_keys.reserve(groups.size());
+          t.combined_values.reserve(groups.size());
+          for (size_t g = 0; g < groups.size(); ++g) {
+            t.combined_keys.push_back(groups.key(g));
+            t.combined_values.push_back(
+                job.combine_fn(groups.key(g), groups.values(g)));
+          }
+          auto combined_runs = [&](auto&& fn) {
+            if (!t.combined_keys.empty()) {
+              fn(t.combined_keys.data(), t.combined_values.data(),
+                 t.combined_keys.size());
+            }
+          };
+          t.post_tuples = t.combined_keys.size();
+          t.post_bytes = internal::AccountTupleBytes<K, V>(
+              job.fixed_tuple_bytes, job.tuple_bytes, t.post_tuples,
+              combined_runs);
+          std::vector<TupleRun<K, V>> run;
+          if (!t.combined_keys.empty()) {
+            run.push_back(TupleRun<K, V>{t.combined_keys.data(),
+                                         t.combined_values.data(),
+                                         t.combined_keys.size()});
+          }
+          internal::BuildPartitionBlocks(&t, job.num_reduce_tasks,
+                                         t.post_tuples, part_fn,
+                                         combined_runs, std::move(run));
+        } else {
+          t.post_bytes = t.pre_bytes;
+          t.post_tuples = t.pre_tuples;
+          internal::BuildPartitionBlocks(
+              &t, job.num_reduce_tasks, emitted, part_fn, emit_runs,
+              BlockOverColumns(t.emitter->keys(), t.emitter->values())
+                  .runs);
         }
-        for (auto& [key, values] : local) {
-          V combined = job.combine_fn(key, values);
-          t.post_bytes += job.tuple_bytes(key, combined);
-          ++t.post_tuples;
-          t.parts[partition(key) % job.num_reduce_tasks].emplace_back(
-              key, std::move(combined));
-        }
+      };
+      if (job.partition_fn) {
+        build_blocks(job.partition_fn);
       } else {
-        t.post_bytes = t.pre_bytes;
-        t.post_tuples = t.pre_tuples;
-        for (auto& [key, value] : emitter.pairs()) {
-          const size_t task = partition(key) % job.num_reduce_tasks;
-          t.parts[task].emplace_back(std::move(key), std::move(value));
-        }
+        // Devirtualized fast path: DefaultPartition inlines into the
+        // radix loop.
+        build_blocks([](const K& k) { return DefaultPartition(k); });
       }
       t.build_sec = build_watch.ElapsedSeconds();
     });
   }
   stats.map_wall_sec = map_wall.ElapsedSeconds();
-  for (const MapTaskState& t : tasks) {  // Serial, fixed-order accumulation.
+  for (const TaskState& t : tasks) {  // Serial, fixed-order accumulation.
     stats.input_bytes += t.input_bytes;
     stats.pre_combine_shuffle_bytes += t.pre_bytes;
     stats.pre_combine_shuffle_tuples += t.pre_tuples;
@@ -246,22 +377,27 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
     stats.shuffle_build_sec += t.build_sec;
   }
 
-  // --- Shuffle build: merge task-local buffers into per-reduce-task
-  // group views. Fixed split order per reduce task keeps every key group's
-  // value order scheduling-independent. ---
-  std::vector<std::map<K, std::vector<V>>> groups(job.num_reduce_tasks);
+  // --- Shuffle build: merge the map tasks' partition blocks into one
+  // grouped view per reduce task. Blocks are walked in fixed split order,
+  // so every key group's value order is scheduling-independent; the merge
+  // moves values straight into the reduce task's value column. ---
+  std::vector<ReduceGroups<K, V>> groups(job.num_reduce_tasks);
   std::vector<double> merge_sec(job.num_reduce_tasks, 0.0);
   Stopwatch shuffle_wall;
   {
     obs::TraceSpan span(job.telemetry, "mr.shuffle");
     ParallelForEach(job.num_reduce_tasks, [&](size_t task) {
       Stopwatch merge_watch;
-      std::map<K, std::vector<V>>& group = groups[task];
-      for (MapTaskState& t : tasks) {
-        for (auto& [key, value] : t.parts[task]) {
-          group[key].push_back(std::move(value));
-        }
-      }
+      size_t total = 0;
+      for (TaskState& t : tasks) total += t.blocks[task].count;
+      groups[task] = ReduceGroups<K, V>::Build(
+          total, /*sorted_keys=*/true, [&](auto&& fn) {
+            for (TaskState& t : tasks) {
+              for (TupleRun<K, V>& run : t.blocks[task].runs) {
+                fn(run.keys, run.values, run.count);
+              }
+            }
+          });
       merge_sec[task] = merge_watch.ElapsedSeconds();
     });
   }
@@ -279,8 +415,9 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
       if (has_task_reduce) {
         job.task_reduce_fn(groups[task], &outputs[task]);
       } else {
-        for (auto& [key, values] : groups[task]) {
-          job.reduce_fn(key, values, &outputs[task]);
+        ReduceGroups<K, V>& g = groups[task];
+        for (size_t i = 0; i < g.size(); ++i) {
+          job.reduce_fn(g.key(i), g.values(i), &outputs[task]);
         }
       }
       reduce_sec[task] = reduce_watch.ElapsedSeconds();
@@ -306,6 +443,11 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
     job.telemetry->AddCounter("mr.shuffle_tuples_precombine",
                               stats.pre_combine_shuffle_tuples);
     job.telemetry->AddCounter("mr.output_records", stats.output_records);
+    std::vector<double> build_sec;
+    build_sec.reserve(tasks.size());
+    for (const TaskState& t : tasks) build_sec.push_back(t.build_sec);
+    RecordShuffleTimings(job.telemetry, "mr.shuffle.build_ms", build_sec);
+    RecordShuffleTimings(job.telemetry, "mr.shuffle.merge_ms", merge_sec);
   }
   return result;
 }

@@ -67,14 +67,10 @@ void TraditionalMap(const std::vector<ScoreEvent>& split,
 
 // In-mapper combiner: fold one map task's scores for a key into their sum
 // (emit order, so the bits match an event-order accumulation).
-double SumCombiner(const uint64_t&, std::vector<double>& values) {
+double SumCombiner(const uint64_t&, Span<double> values) {
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum;
-}
-
-uint64_t KeyValueTupleBytes(const uint64_t&, const double&) {
-  return dist::kKeyValueBytes;
 }
 
 }  // namespace
@@ -85,18 +81,19 @@ Result<TopKJobResult> RunTraditionalTopKJob(
   Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
   job.map_fn = TraditionalMap;
   if (combine) job.combine_fn = SumCombiner;
-  job.tuple_bytes = KeyValueTupleBytes;
+  job.fixed_tuple_bytes = dist::kKeyValueBytes;
   job.telemetry = telemetry;
-  job.task_reduce_fn = [k](std::map<uint64_t, std::vector<double>>& groups,
+  job.task_reduce_fn = [k](ReduceGroups<uint64_t, double>& groups,
                            std::vector<outlier::Outlier>* out) {
     // Merge, then select the k largest aggregates (the reducer-side sort
     // the paper charges the traditional implementation for).
     std::vector<outlier::Outlier> all;
     all.reserve(groups.size());
-    for (auto& [key, values] : groups) {
+    for (size_t g = 0; g < groups.size(); ++g) {
       double sum = 0.0;
-      for (double v : values) sum += v;
-      all.push_back(outlier::Outlier{static_cast<size_t>(key), sum, sum});
+      for (double v : groups.values(g)) sum += v;
+      const size_t key = static_cast<size_t>(groups.key(g));
+      all.push_back(outlier::Outlier{key, sum, sum});
     }
     std::sort(all.begin(), all.end(),
               [](const outlier::Outlier& a, const outlier::Outlier& b) {
@@ -120,16 +117,16 @@ Result<OutlierJobResult> RunTraditionalOutlierJob(
   Job<ScoreEvent, uint64_t, double, outlier::Outlier> job;
   job.map_fn = TraditionalMap;
   job.combine_fn = SumCombiner;
-  job.tuple_bytes = KeyValueTupleBytes;
+  job.fixed_tuple_bytes = dist::kKeyValueBytes;
   job.telemetry = telemetry;
   double mode = 0.0;
-  job.task_reduce_fn = [n, k, &mode](
-                           std::map<uint64_t, std::vector<double>>& groups,
-                           std::vector<outlier::Outlier>* out) {
+  job.task_reduce_fn = [n, k, &mode](ReduceGroups<uint64_t, double>& groups,
+                                     std::vector<outlier::Outlier>* out) {
     std::vector<double> x(n, 0.0);
-    for (auto& [key, values] : groups) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const uint64_t key = groups.key(g);
       if (key >= n) continue;
-      for (double v : values) x[key] += v;
+      for (double v : groups.values(g)) x[key] += v;
     }
     outlier::OutlierSet set = outlier::ExactKOutliers(x, k);
     mode = set.mode;
@@ -216,21 +213,20 @@ Result<CsJobResult> RunCsOutlierJob(
   };
   // 64-bit measurements on the wire (S_M in Section 6.1.2); the row index
   // is positional in a real implementation.
-  job.tuple_bytes = [](const uint32_t&, const double&) {
-    return dist::kMeasurementBytes;
-  };
+  job.fixed_tuple_bytes = dist::kMeasurementBytes;
 
   cs::BompResult recovery;
   double recovered_mode = 0.0;
   Status reduce_status = Status::OK();
-  job.task_reduce_fn = [&](std::map<uint32_t, std::vector<double>>& groups,
+  job.task_reduce_fn = [&](ReduceGroups<uint32_t, double>& groups,
                            std::vector<outlier::Outlier>* out) {
     // Algorithm 4 (CS-Reducer): sum measurement rows into the global y,
     // regenerate Φ0 from the seed, recover with BOMP.
     std::vector<double> y(options.m, 0.0);
-    for (auto& [row, values] : groups) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const uint32_t row = groups.key(g);
       if (row >= options.m) continue;
-      for (double v : values) y[row] += v;
+      for (double v : groups.values(g)) y[row] += v;
     }
     cs::MeasurementMatrix reducer_matrix(options.m, options.n, options.seed,
                                          options.cache_budget_bytes);

@@ -1,0 +1,20 @@
+#include "mapreduce/shuffle.h"
+
+namespace csod::mr {
+
+size_t RoundUpPow2(size_t v) {
+  if (v <= 1) return 1;
+  --v;
+  for (size_t shift = 1; shift < sizeof(size_t) * 8; shift *= 2) {
+    v |= v >> shift;
+  }
+  return v + 1;
+}
+
+void RecordShuffleTimings(obs::Telemetry* telemetry, const char* name,
+                          const std::vector<double>& seconds) {
+  if (telemetry == nullptr || !telemetry->enabled()) return;
+  for (double sec : seconds) telemetry->RecordValue(name, sec * 1e3);
+}
+
+}  // namespace csod::mr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,12 +21,14 @@ Job<int, int, int, std::pair<int, int>> ModuloCountJob() {
   job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
     for (int v : split) out->Emit(v % 3, 1);
   };
-  job.reduce_fn = [](const int& key, std::vector<int>& values,
+  job.reduce_fn = [](const int& key, Span<int> values,
                      std::vector<std::pair<int, int>>* out) {
     int total = 0;
     for (int v : values) total += v;
     out->emplace_back(key, total);
   };
+  // Exercises the deferred `tuple_bytes` callback path (the fixed-size
+  // fast path is covered by the determinism suite below).
   job.tuple_bytes = [](const int&, const int&) { return uint64_t{12}; };
   job.input_record_bytes = 4;
   return job;
@@ -75,11 +78,11 @@ TEST(EngineTest, TaskReduceSeesWholePartition) {
   job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
     for (int v : split) out->Emit(v, v);
   };
-  job.task_reduce_fn = [](std::map<int, std::vector<int>>& groups,
+  job.task_reduce_fn = [](ReduceGroups<int, int>& groups,
                           std::vector<int>* out) {
     out->push_back(static_cast<int>(groups.size()));
   };
-  job.tuple_bytes = [](const int&, const int&) { return uint64_t{8}; };
+  job.fixed_tuple_bytes = 8;
   auto result = RunJob({{1, 2, 3}, {3, 4}}, job);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.Value().output.size(), 1u);
@@ -103,13 +106,15 @@ TEST(EngineTest, ConfigValidation) {
   // Missing everything.
   EXPECT_FALSE(RunJob(one_split, job).ok());
   job.map_fn = [](const std::vector<int>&, Emitter<int, int>*) {};
-  EXPECT_FALSE(RunJob(one_split, job).ok());  // no tuple_bytes
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // no tuple size at all
   job.tuple_bytes = [](const int&, const int&) { return uint64_t{1}; };
+  job.fixed_tuple_bytes = 4;
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // both tuple sizes set
+  job.fixed_tuple_bytes = 0;
   EXPECT_FALSE(RunJob(one_split, job).ok());  // no reducer
-  job.reduce_fn = [](const int&, std::vector<int>&, std::vector<int>*) {};
-  job.task_reduce_fn = [](std::map<int, std::vector<int>>&,
-                          std::vector<int>*) {};
-  EXPECT_FALSE(RunJob(one_split, job).ok());  // both set
+  job.reduce_fn = [](const int&, Span<int>, std::vector<int>*) {};
+  job.task_reduce_fn = [](ReduceGroups<int, int>&, std::vector<int>*) {};
+  EXPECT_FALSE(RunJob(one_split, job).ok());  // both reducers set
   job.task_reduce_fn = nullptr;
   job.num_reduce_tasks = 0;
   EXPECT_FALSE(RunJob(one_split, job).ok());
@@ -180,9 +185,9 @@ TEST(EngineTest, DefaultPartitionerDrivesTaskAssignment) {
                   Emitter<uint64_t, int>* out) {
     for (uint64_t v : split) out->Emit(v, 1);
   };
-  job.reduce_fn = [](const uint64_t& key, std::vector<int>&,
+  job.reduce_fn = [](const uint64_t& key, Span<int>,
                      std::vector<uint64_t>* out) { out->push_back(key); };
-  job.tuple_bytes = [](const uint64_t&, const int&) { return uint64_t{12}; };
+  job.fixed_tuple_bytes = 12;
   job.num_reduce_tasks = 8;
   std::vector<uint64_t> keys;
   for (uint64_t i = 0; i < 32; ++i) keys.push_back(8 * i);
@@ -207,10 +212,10 @@ TEST(EngineTest, DeterministicReduceOrder) {
   job.map_fn = [](const std::vector<int>& split, Emitter<int, int>* out) {
     for (int v : split) out->Emit(v, v);
   };
-  job.reduce_fn = [](const int& key, std::vector<int>&, std::vector<int>* out) {
+  job.reduce_fn = [](const int& key, Span<int>, std::vector<int>* out) {
     out->push_back(key);
   };
-  job.tuple_bytes = [](const int&, const int&) { return uint64_t{8}; };
+  job.fixed_tuple_bytes = 8;
   auto result = RunJob({{5, 3, 9, 1}}, job);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.Value().output, (std::vector<int>{1, 3, 5, 9}));
@@ -230,13 +235,13 @@ Job<uint64_t, uint64_t, double, std::pair<uint64_t, double>> SumJob() {
       out->Emit(v % 17, static_cast<double>(v % 7 + 1));
     }
   };
-  job.reduce_fn = [](const uint64_t& key, std::vector<double>& values,
+  job.reduce_fn = [](const uint64_t& key, Span<double> values,
                      std::vector<std::pair<uint64_t, double>>* out) {
     double sum = 0.0;
     for (double v : values) sum += v;
     out->emplace_back(key, sum);
   };
-  job.tuple_bytes = [](const uint64_t&, const double&) { return uint64_t{12}; };
+  job.fixed_tuple_bytes = 12;
   return job;
 }
 
@@ -319,7 +324,7 @@ TEST(EngineDeterminismTest, CombinerOnVsOffValueEquality) {
 
   auto with = SumJob();
   with.num_reduce_tasks = 3;
-  with.combine_fn = [](const uint64_t&, std::vector<double>& values) {
+  with.combine_fn = [](const uint64_t&, Span<double> values) {
     double sum = 0.0;
     for (double v : values) sum += v;
     return sum;
@@ -358,6 +363,11 @@ TEST(EngineTest, TelemetrySpansAndCounters) {
   EXPECT_EQ(telemetry.counter("mr.shuffle_bytes"), 7u * 12);
   EXPECT_EQ(telemetry.counter("mr.shuffle_tuples_precombine"), 7u);
   EXPECT_EQ(telemetry.counter("mr.output_records"), 3u);
+  // Per-task shuffle timing histograms: one build sample per map task,
+  // one merge sample per reduce task.
+  EXPECT_EQ(telemetry.value("mr.shuffle.build_ms").count, 2u);
+  EXPECT_EQ(telemetry.value("mr.shuffle.merge_ms").count, 1u);
+  EXPECT_GE(telemetry.value("mr.shuffle.build_ms").min, 0.0);
 }
 
 }  // namespace

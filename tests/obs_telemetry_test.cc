@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mapreduce/engine.h"
 #include "obs/telemetry.h"
 
 namespace csod::obs {
@@ -194,6 +195,43 @@ TEST(TelemetryTest, ConcurrentRecordingIsLossless) {
   EXPECT_EQ(stats.count, static_cast<uint64_t>(kThreads) * kPerThread);
   // All recorded values equal, so the float sum is order-independent too.
   EXPECT_DOUBLE_EQ(stats.sum, 2.0 * kThreads * kPerThread);
+}
+
+TEST(TelemetryTest, MapReduceShuffleTimingHistograms) {
+  // The engine records per-task shuffle timings into value histograms:
+  // one mr.shuffle.build_ms sample per map task (combine + radix
+  // partition), one mr.shuffle.merge_ms sample per reduce task (group
+  // build). Recorded serially after each parallel phase, so the sample
+  // counts are exact, not racy.
+  Telemetry t;
+  mr::Job<int, uint64_t, double, double> job;
+  job.map_fn = [](const std::vector<int>& split,
+                  mr::Emitter<uint64_t, double>* out) {
+    for (int v : split) out->Emit(static_cast<uint64_t>(v % 5), 1.0);
+  };
+  job.reduce_fn = [](const uint64_t&, mr::Span<double> values,
+                     std::vector<double>* out) {
+    out->push_back(static_cast<double>(values.size()));
+  };
+  job.fixed_tuple_bytes = 12;
+  job.num_reduce_tasks = 3;
+  job.telemetry = &t;
+  auto result = mr::RunJob({{1, 2, 3}, {4, 5}, {6}, {7, 8}}, job);
+  ASSERT_TRUE(result.ok());
+
+  const ValueStats build = t.value("mr.shuffle.build_ms");
+  EXPECT_EQ(build.count, 4u);  // One sample per map task.
+  EXPECT_GE(build.min, 0.0);
+  const ValueStats merge = t.value("mr.shuffle.merge_ms");
+  EXPECT_EQ(merge.count, 3u);  // One sample per reduce task.
+  EXPECT_GE(merge.min, 0.0);
+
+  // A disabled sink records nothing — the zero-overhead contract extends
+  // to the shuffle histograms.
+  Telemetry* off = Telemetry::Disabled();
+  job.telemetry = off;
+  ASSERT_TRUE(mr::RunJob({{1, 2, 3}}, job).ok());
+  EXPECT_EQ(off->value("mr.shuffle.build_ms").count, 0u);
 }
 
 }  // namespace
