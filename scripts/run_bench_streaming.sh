@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Runs the streaming service benchmark (BENCH_streaming.json at the repo
+# root): sharded batch ingestion + epoch advance + concurrent snapshot
+# queries at thread limits {1,2,8}, with an FNV-1a digest over every
+# output bit (published window measurement, top-k keys/values, k-outlier
+# keys/values/mode) checked across limits AND against a
+# WindowedOutlierDetector reference fed the same per-(batch, shard)
+# slices.
+#
+# The bench runs twice; timings differ run to run, so the determinism
+# check (same pattern as run_bench_mapreduce.sh) diffs only the
+# output_digest / reference_window_digest / bit_identical lines, which
+# must be byte-identical — and the bench itself exits nonzero if any
+# thread limit moves a single output bit or any query observes a snapshot
+# older than the 1-epoch staleness bound.
+#
+# The script then gates:
+#  - updates/sec at the widest limit with concurrent analysts: >= 100k/s
+#    on >= 8 cores, >= 50k/s on 2-7 cores, >= 25k/s on a single core
+#    (MIN_UPDATES_PER_SEC overrides);
+#  - telemetry overhead: <= 2% ingest-wall cost for a live sink vs a null
+#    sink (MAX_TELEMETRY_OVERHEAD_PCT overrides; best-of-trials on both
+#    sides keeps the measurement below scheduler noise).
+#
+# Usage: scripts/run_bench_streaming.sh
+#   BUILD_DIR=<dir>                  build directory (default: build)
+#   STREAMING_FLAGS=<f>              extra bench flags (e.g. "--quick=true")
+#   MIN_UPDATES_PER_SEC=<x>          override the throughput threshold
+#   MAX_TELEMETRY_OVERHEAD_PCT=<x>   override the telemetry budget
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_streaming -j "$(nproc)"
+
+TMP_A="$(mktemp)"
+TMP_B="$(mktemp)"
+trap 'rm -f "$TMP_A" "$TMP_B"' EXIT
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_streaming" --out="$TMP_A" ${STREAMING_FLAGS:-}
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_streaming" --out="$TMP_B" ${STREAMING_FLAGS:-} \
+  >/dev/null
+
+DIGEST_RE='output_digest|reference_window_digest|bit_identical'
+if ! diff <(grep -E "$DIGEST_RE" "$TMP_A") \
+          <(grep -E "$DIGEST_RE" "$TMP_B") >/dev/null; then
+  echo "FAIL: two bench_streaming runs produced different output digests" >&2
+  diff <(grep -E "$DIGEST_RE" "$TMP_A") \
+       <(grep -E "$DIGEST_RE" "$TMP_B") >&2 || true
+  exit 1
+fi
+echo "Streaming determinism check passed: digests identical across two runs."
+
+# Throughput gate: committed thresholds by core count.
+CORES="$(nproc)"
+if [[ -z "${MIN_UPDATES_PER_SEC:-}" ]]; then
+  if [[ "$CORES" -ge 8 ]]; then
+    MIN_UPDATES_PER_SEC=100000
+  elif [[ "$CORES" -ge 2 ]]; then
+    MIN_UPDATES_PER_SEC=50000
+  else
+    MIN_UPDATES_PER_SEC=25000
+  fi
+fi
+UPDATES="$(sed -n 's/.*"updates_per_sec": \([0-9.]*\).*/\1/p' "$TMP_A")"
+if [[ -z "$UPDATES" ]]; then
+  echo "FAIL: no updates_per_sec in bench output" >&2
+  exit 1
+fi
+if ! awk -v u="$UPDATES" -v min="$MIN_UPDATES_PER_SEC" \
+     'BEGIN {exit !(u >= min)}'; then
+  echo "FAIL: updates_per_sec $UPDATES below threshold" \
+       "$MIN_UPDATES_PER_SEC ($CORES cores)" >&2
+  exit 1
+fi
+echo "Streaming throughput gate passed: ${UPDATES}/s >=" \
+     "${MIN_UPDATES_PER_SEC}/s ($CORES cores)."
+
+# Staleness gate: the bench exits nonzero itself, but assert the JSON too.
+if ! grep -q '"staleness_bound_held": true' "$TMP_A"; then
+  echo "FAIL: a query observed a snapshot older than 1 epoch" >&2
+  exit 1
+fi
+echo "Streaming staleness gate passed: every query <= 1 epoch stale."
+
+# Telemetry budget gate.
+MAX_TELEMETRY_OVERHEAD_PCT="${MAX_TELEMETRY_OVERHEAD_PCT:-2.0}"
+OVERHEAD="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' "$TMP_A")"
+if [[ -z "$OVERHEAD" ]]; then
+  echo "FAIL: no overhead_pct in bench output" >&2
+  exit 1
+fi
+if ! awk -v o="$OVERHEAD" -v max="$MAX_TELEMETRY_OVERHEAD_PCT" \
+     'BEGIN {exit !(o <= max)}'; then
+  echo "FAIL: telemetry overhead ${OVERHEAD}% above budget" \
+       "${MAX_TELEMETRY_OVERHEAD_PCT}%" >&2
+  exit 1
+fi
+echo "Streaming telemetry gate passed: ${OVERHEAD}% <=" \
+     "${MAX_TELEMETRY_OVERHEAD_PCT}%."
+
+cp "$TMP_A" "$ROOT/BENCH_streaming.json"
+echo "Wrote $ROOT/BENCH_streaming.json"

@@ -39,6 +39,14 @@ ENGINE_FILTER+='|CostModel|JobTest|Jobs|ParallelFor'
 ENGINE_FILTER+='|Arena|ColumnChunks|KeyInterner|ReduceGroups|ScatterPartitions'
 ctest --output-on-failure -j "$(nproc)" -R "$ENGINE_FILTER"
 
+# Streaming service pass: the serve suite is the one place where reader
+# threads (snapshot queries) race the ingest/advance path by design —
+# swap-on-advance snapshot publication, the atomics backing
+# current_epoch/version, and the CLI demo's analyst thread all need TSan
+# eyes even when the main invocation was filtered.
+ctest --output-on-failure -j "$(nproc)" \
+  -R 'StreamingDetector|StreamingService|WindowedDetector|CliServe|CliStreamDemo'
+
 # The same engine suite under the *other* sanitizer: the arena hands out
 # raw uninitialized pages and ColumnChunks runs element destructors by
 # hand, so an address-safety pass is required even when this invocation

@@ -77,6 +77,19 @@ Result<std::vector<double>> WindowedOutlierDetector::WindowMeasurement()
   return y;
 }
 
+Result<std::vector<double>> WindowedOutlierDetector::ClosedWindowMeasurement()
+    const {
+  if (epoch_sketches_.size() < 2) {
+    return Status::FailedPrecondition(
+        "ClosedWindowMeasurement: no closed epoch retained yet");
+  }
+  std::vector<double> y(options_.m, 0.0);
+  for (size_t e = 0; e + 1 < epoch_sketches_.size(); ++e) {
+    la::Axpy(1.0, epoch_sketches_[e], &y);
+  }
+  return y;
+}
+
 Result<outlier::OutlierSet> WindowedOutlierDetector::Detect(size_t k) const {
   if (k == 0) {
     return Status::InvalidArgument("Detect: k must be > 0");

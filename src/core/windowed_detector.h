@@ -55,6 +55,18 @@ class WindowedOutlierDetector {
   /// Full recovery over the current window.
   Result<cs::BompResult> Recover(size_t iterations) const;
 
+  /// Sum of every *closed* retained epoch sketch — all retained epochs
+  /// except the newest (in-progress) one, folded oldest-first exactly like
+  /// WindowMeasurement(). This is the streaming layer's snapshot primitive
+  /// (src/serve): a published snapshot must never include the epoch still
+  /// accepting data, or concurrent queries would observe half an epoch.
+  /// Fails unless at least one closed epoch is retained (>= 2 retained).
+  Result<std::vector<double>> ClosedWindowMeasurement() const;
+
+  /// The consensus matrix Φ0 — for recovery against an externally held
+  /// window measurement (e.g. a published streaming snapshot).
+  const cs::MeasurementMatrix& matrix() const { return *matrix_; }
+
   /// Number of epochs currently retained (<= window_epochs).
   size_t epochs_retained() const { return epoch_sketches_.size(); }
   /// Index of the current epoch (0 before the first AdvanceEpoch()).

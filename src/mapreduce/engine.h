@@ -63,7 +63,7 @@ class Emitter {
 /// structured key set (say, multiples of 8) through `% num_reduce_tasks`
 /// produces skewed, structured partitions — and a different assignment on
 /// every standard library, violating the cross-platform determinism
-/// contract (DESIGN.md §9). Integral keys therefore go through SplitMix64
+/// contract (DESIGN.md §10). Integral keys therefore go through SplitMix64
 /// directly: the assignment is a pure function of the key's value,
 /// byte-identical on every platform. Non-integral keys fall back to mixing
 /// `std::hash<K>` (unskewed, but only as portable as that hash — supply a

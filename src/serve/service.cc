@@ -1,0 +1,132 @@
+#include "serve/service.h"
+
+#include <utility>
+
+namespace csod::serve {
+
+StreamingService::StreamingService(obs::Telemetry* telemetry)
+    : telemetry_(telemetry != nullptr ? telemetry
+                                      : obs::Telemetry::Disabled()) {}
+
+Status StreamingService::AddTenant(const std::string& name,
+                                   StreamingDetectorOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("AddTenant: tenant name must be non-empty");
+  }
+  if (options.telemetry == nullptr) options.telemetry = telemetry_;
+  CSOD_ASSIGN_OR_RETURN(std::unique_ptr<StreamingDetector> detector,
+                        StreamingDetector::Create(options));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.emplace(name, std::move(detector));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("AddTenant: tenant '" + name +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+Status StreamingService::RemoveTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.erase(name) == 0) {
+    return Status::NotFound("RemoveTenant: no tenant '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Result<StreamingDetector*> StreamingService::Tenant(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no tenant '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> StreamingService::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, detector] : tenants_) names.push_back(name);
+  return names;
+}
+
+Status StreamingService::Ingest(const std::string& tenant,
+                                const std::vector<size_t>& keys,
+                                const std::vector<double>& deltas) {
+  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+  return detector->IngestBatch(keys, deltas);
+}
+
+Result<uint64_t> StreamingService::AdvanceTo(const std::string& tenant,
+                                             uint64_t tick) {
+  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+  return detector->AdvanceTo(tick);
+}
+
+Status StreamingService::AdvanceAllTo(uint64_t tick) {
+  std::vector<StreamingDetector*> detectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    detectors.reserve(tenants_.size());
+    for (const auto& [name, detector] : tenants_) {
+      detectors.push_back(detector.get());
+    }
+  }
+  Status first_error;
+  for (StreamingDetector* detector : detectors) {
+    const Result<uint64_t> epoch = detector->AdvanceTo(tick);
+    if (!epoch.ok() && first_error.ok()) first_error = epoch.status();
+  }
+  return first_error;
+}
+
+Result<StreamingQueryResult> StreamingService::Query(
+    const std::string& query_text) const {
+  CSOD_ASSIGN_OR_RETURN(query::Query query, query::ParseQuery(query_text));
+  return QueryTenant(query.source, query);
+}
+
+Result<StreamingQueryResult> StreamingService::QueryTenant(
+    const std::string& tenant, const query::Query& query) const {
+  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+
+  StreamingQueryResult result;
+  result.key_space = detector->options().n;
+  if (query.kind == query::QueryKind::kOutlier) {
+    CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet outliers,
+                          detector->QueryOutliers(query.k));
+    result.mode = outliers.mode;
+    result.rows.reserve(outliers.outliers.size());
+    for (const outlier::Outlier& o : outliers.outliers) {
+      result.rows.push_back(query::ResultRow{std::to_string(o.key_index),
+                                             o.value, o.divergence});
+    }
+  } else {
+    CSOD_ASSIGN_OR_RETURN(std::vector<outlier::Outlier> top,
+                          detector->QueryTopK(query.k));
+    result.rows.reserve(top.size());
+    for (const outlier::Outlier& o : top) {
+      result.rows.push_back(
+          query::ResultRow{std::to_string(o.key_index), o.value, o.value});
+    }
+  }
+
+  // Provenance from the snapshot that answered (grab it once — the answer
+  // above used the snapshot current at its own Query* call; re-grabbing
+  // here can only observe the same or a newer version, which is the
+  // provenance a client acting on the answer needs anyway).
+  const std::shared_ptr<const SketchSnapshot> snapshot = detector->Snapshot();
+  if (snapshot != nullptr) {
+    result.snapshot_version = snapshot->version;
+    result.snapshot_first_epoch = snapshot->first_epoch;
+    result.snapshot_last_epoch = snapshot->last_epoch;
+    result.staleness_epochs =
+        detector->current_epoch() - snapshot->last_epoch;
+    result.stalled_shards = snapshot->stalled_shards;
+  }
+  return result;
+}
+
+}  // namespace csod::serve

@@ -1,0 +1,110 @@
+#ifndef CSOD_SERVE_SERVICE_H_
+#define CSOD_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/telemetry.h"
+#include "query/executor.h"
+#include "query/query.h"
+#include "serve/streaming_detector.h"
+
+namespace csod::serve {
+
+/// A streaming query answer: the rows of the paper's query template plus
+/// the snapshot provenance a service client needs to reason about
+/// staleness (which batch of data it is actually looking at).
+struct StreamingQueryResult {
+  /// Answer rows in rank order — `group_key` is the key index rendered as
+  /// text, `value` the recovered aggregate, `rank_score` the divergence
+  /// (Outlier) or the value itself (Top), exactly like
+  /// query::QueryResult rows.
+  std::vector<query::ResultRow> rows;
+  /// Recovered mode (0 for Top queries).
+  double mode = 0.0;
+  /// Key space N of the tenant's stream.
+  size_t key_space = 0;
+  /// Version / epoch range of the snapshot that answered the query.
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_first_epoch = 0;
+  uint64_t snapshot_last_epoch = 0;
+  /// current_epoch - snapshot_last_epoch at answer time; 1 means "as fresh
+  /// as the staleness contract allows" (the in-progress epoch is never
+  /// visible).
+  uint64_t staleness_epochs = 0;
+  /// Shards whose deferred events are missing from the answer (degraded).
+  std::vector<uint32_t> stalled_shards;
+};
+
+/// \brief Multi-tenant streaming front-end: named tenants, each an
+/// independent `StreamingDetector` (own key space, seed, window, shards),
+/// plus a textual query endpoint speaking the paper's query template.
+///
+/// Tenancy is coarse-grained by design: tenants share nothing but the
+/// telemetry sink, so one tenant's ingestion or recovery never perturbs
+/// another's determinism contract. The service mutex only guards the
+/// tenant map — ingestion and queries run on the tenant's own
+/// synchronization (see StreamingDetector's thread-safety notes).
+///
+/// The query endpoint accepts `SELECT Outlier K SUM(score), key FROM
+/// <tenant>` / `SELECT Top K ...` (query::ParseQuery — the same grammar as
+/// the batch executor; the FROM clause names the tenant, and attribute
+/// names are informational because streaming events are already keyed by
+/// dictionary index). Answers carry the snapshot version/epoch range and
+/// staleness so clients can correlate them with ingestion progress.
+class StreamingService {
+ public:
+  /// `telemetry` may be null (disabled); it becomes the default sink of
+  /// every tenant created without an explicit one.
+  explicit StreamingService(obs::Telemetry* telemetry = nullptr);
+
+  /// Registers a tenant. `options.telemetry` inherits the service sink
+  /// when unset. Fails with AlreadyExists on a duplicate name.
+  Status AddTenant(const std::string& name,
+                   StreamingDetectorOptions options);
+
+  /// Unregisters a tenant (its published snapshots stay valid for holders).
+  Status RemoveTenant(const std::string& name);
+
+  /// The tenant's detector, or NotFound. The pointer stays valid until
+  /// RemoveTenant — detectors are owned by the service, not the map node.
+  Result<StreamingDetector*> Tenant(const std::string& name) const;
+
+  std::vector<std::string> TenantNames() const;
+
+  /// Ingests one keyed score-delta batch into `tenant`'s current epoch.
+  Status Ingest(const std::string& tenant, const std::vector<size_t>& keys,
+                const std::vector<double>& deltas);
+
+  /// Advances `tenant`'s virtual clock (see StreamingDetector::AdvanceTo).
+  Result<uint64_t> AdvanceTo(const std::string& tenant, uint64_t tick);
+
+  /// Advances every tenant's clock to `tick` (tenants whose clock is
+  /// already past `tick` fail the monotonicity check individually; the
+  /// first error is returned after every tenant was attempted).
+  Status AdvanceAllTo(uint64_t tick);
+
+  /// Parses and answers `SELECT Outlier K ... FROM <tenant>` /
+  /// `SELECT Top K ... FROM <tenant>` against the tenant's latest
+  /// snapshot. The tenant is named by the FROM clause.
+  Result<StreamingQueryResult> Query(const std::string& query_text) const;
+
+  /// Same, with an explicit parsed query and tenant name.
+  Result<StreamingQueryResult> QueryTenant(const std::string& tenant,
+                                           const query::Query& query) const;
+
+ private:
+  obs::Telemetry* telemetry_;  // Never null (Disabled() when unset).
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<StreamingDetector>> tenants_;
+};
+
+}  // namespace csod::serve
+
+#endif  // CSOD_SERVE_SERVICE_H_

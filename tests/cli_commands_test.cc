@@ -178,6 +178,70 @@ TEST(CliQueryTest, BadSqlSurfaces) {
   EXPECT_FALSE(RunQuery(table.Value(), "not sql at all", options).ok());
 }
 
+TEST(CliServeTest, ReplaysFileAndReportsWindowOutliers) {
+  // Key 3 spikes in every record chunk, so it dominates whatever window
+  // the replay ends on.
+  TempFile file("serve.txt");
+  std::string records;
+  for (int i = 0; i < 64; ++i) {
+    records += "0 " + std::to_string(i % 8) + " 10.0\n";
+    records += "1 3 5000.0\n";
+  }
+  file.Write(records);
+  auto events = LoadEvents(file.path()).MoveValue();
+
+  ServeOptions options;
+  options.m = 8;
+  options.k = 1;
+  options.iterations = 4;
+  options.window_epochs = 2;
+  options.epochs = 4;
+  options.num_shards = 4;
+  options.batch_events = 16;
+  auto report = RunServe(events, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.Value().find("replayed 128 events as 4 epochs"),
+            std::string::npos);
+  EXPECT_NE(report.Value().find("snapshot: v4"), std::string::npos);
+  EXPECT_NE(report.Value().find("staleness 1 epoch(s)"), std::string::npos);
+  EXPECT_NE(report.Value().find("window k-outliers via BOMP"),
+            std::string::npos);
+  EXPECT_NE(report.Value().find("key 3"), std::string::npos);
+}
+
+TEST(CliServeTest, ValidatesOptions) {
+  TempFile file("serve_bad.txt");
+  file.Write("0 1 2.0\n");
+  auto events = LoadEvents(file.path()).MoveValue();
+  ServeOptions options;
+  options.epochs = 0;
+  EXPECT_FALSE(RunServe(events, options).ok());
+  options.epochs = 2;
+  options.batch_events = 0;
+  EXPECT_FALSE(RunServe(events, options).ok());
+}
+
+TEST(CliStreamDemoTest, SurfacesPlantedHotKey) {
+  StreamDemoOptions options;
+  options.n = 300;
+  options.mode = 100.0;
+  options.m = 60;
+  options.k = 1;
+  options.iterations = 6;
+  options.window_epochs = 2;
+  options.epochs = 3;
+  options.num_shards = 4;
+  options.events_per_epoch = 600;
+  auto report = RunStreamDemo(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.Value().find("stream demo: N=300"), std::string::npos);
+  EXPECT_NE(report.Value().find("events/sec"), std::string::npos);
+  EXPECT_NE(report.Value().find("window top-k via CS recovery"),
+            std::string::npos);
+  // The planted hot key (n / 3 = 100) tops the recovered window.
+  EXPECT_NE(report.Value().find("key 100"), std::string::npos);
+}
+
 TEST(CliExactTest, CentralizedReference) {
   TempFile file("exact.txt");
   file.Write("0 0 10.0\n0 1 10.0\n1 2 10.0\n1 3 500.0\n0 3 -200.0\n");

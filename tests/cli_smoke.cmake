@@ -36,5 +36,57 @@ if(NOT exact_out MATCHES "${top_key}")
           "detect top key '${top_key}' not in exact reference:\n${exact_out}")
 endif()
 
-file(REMOVE "${events}")
+# Streaming replay of the same file: must publish a snapshot and answer a
+# window query, and the telemetry snapshot must land on disk.
+set(telemetry "${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_telemetry.json")
+execute_process(
+  COMMAND "${CSOD_CLI}" serve --in=${events} --m=250 --k=3 --iterations=20
+          --epochs=4 --window=4 --shards=4 --telemetry-json=${telemetry}
+  RESULT_VARIABLE serve_result OUTPUT_VARIABLE serve_out)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR "csod serve failed: ${serve_out}")
+endif()
+if(NOT serve_out MATCHES "window k-outliers via BOMP")
+  message(FATAL_ERROR "serve output missing header: ${serve_out}")
+endif()
+if(NOT serve_out MATCHES "staleness 1 epoch")
+  message(FATAL_ERROR "serve output missing staleness: ${serve_out}")
+endif()
+if(NOT EXISTS "${telemetry}")
+  message(FATAL_ERROR "serve did not write ${telemetry}")
+endif()
+# A full-file window must agree with the exact reference on the top key.
+string(REGEX MATCH "key [0-9]+" serve_top_key "${serve_out}")
+if(NOT exact_out MATCHES "${serve_top_key}")
+  message(FATAL_ERROR
+          "serve top key '${serve_top_key}' not in exact reference:"
+          "\n${exact_out}")
+endif()
+
+# Self-generating stream demo with a concurrent analyst thread.
+execute_process(
+  COMMAND "${CSOD_CLI}" stream-demo --n=400 --m=100 --k=1 --iterations=8
+          --epochs=3 --window=2 --shards=4 --events-per-epoch=800
+  RESULT_VARIABLE demo_result OUTPUT_VARIABLE demo_out)
+if(NOT demo_result EQUAL 0)
+  message(FATAL_ERROR "csod stream-demo failed: ${demo_out}")
+endif()
+if(NOT demo_out MATCHES "window top-k via CS recovery")
+  message(FATAL_ERROR "stream-demo output missing header: ${demo_out}")
+endif()
+
+# The usage text is generated from the subcommand table: every verb must be
+# listed (a verb missing here means the table and dispatch diverged).
+execute_process(
+  COMMAND "${CSOD_CLI}" ERROR_VARIABLE usage_out RESULT_VARIABLE usage_result)
+foreach(verb generate detect topk exact query serve stream-demo)
+  if(NOT usage_out MATCHES "${verb}")
+    message(FATAL_ERROR "usage text missing verb '${verb}':\n${usage_out}")
+  endif()
+endforeach()
+if(NOT usage_out MATCHES "telemetry-json")
+  message(FATAL_ERROR "usage text missing --telemetry-json:\n${usage_out}")
+endif()
+
+file(REMOVE "${events}" "${telemetry}")
 message(STATUS "cli smoke test passed (${top_key})")

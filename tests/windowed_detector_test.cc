@@ -134,6 +134,107 @@ TEST(WindowedDetectorTest, IngestMeasurementEquivalentToIngest) {
   EXPECT_EQ(ra.Materialize(400), rb.Materialize(400));
 }
 
+TEST(WindowedDetectorTest, RolloverExactlyAtWindowEpochs) {
+  // The boundary the streaming layer leans on: data from epoch 0 is still
+  // visible in epoch window_epochs - 1 and gone in epoch window_epochs.
+  const size_t window = 3;
+  auto detector =
+      WindowedOutlierDetector::Create(SmallOptions(window)).MoveValue();
+
+  detector->AdvanceEpoch();  // Epoch 0: the spike.
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(5, 80000.0)).ok());
+  for (size_t epoch = 1; epoch < window; ++epoch) {
+    detector->AdvanceEpoch();
+    ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  }
+  // Epoch window - 1: epoch 0 is the oldest retained epoch, still inside.
+  EXPECT_EQ(detector->current_epoch(), window - 1);
+  EXPECT_EQ(detector->epochs_retained(), window);
+  auto inside = detector->Detect(1).MoveValue();
+  ASSERT_EQ(inside.outliers.size(), 1u);
+  EXPECT_EQ(inside.outliers[0].key_index, 5u);
+
+  // Epoch window: exactly one more advance expires epoch 0.
+  detector->AdvanceEpoch();
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(123, -60000.0)).ok());
+  EXPECT_EQ(detector->epochs_retained(), window);
+  auto outside = detector->Detect(1).MoveValue();
+  ASSERT_EQ(outside.outliers.size(), 1u);
+  EXPECT_EQ(outside.outliers[0].key_index, 123u);  // Key 5 rolled out.
+}
+
+TEST(WindowedDetectorTest, InterleavedIngestAndIngestMeasurement) {
+  // Mixing raw slices and pre-compressed measurements within and across
+  // epochs must be bit-identical to ingesting every slice raw — linearity
+  // plus the fixed Axpy fold order make the two paths the same sums.
+  auto mixed = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  auto raw = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
+  cs::MeasurementMatrix matrix(150, 400, 5);
+
+  const std::vector<cs::SparseSlice> slices = {
+      BaselineSlice(400, 20.0), Spike(3, 900.0), Spike(17, -450.0),
+      BaselineSlice(400, 1.0)};
+  mixed->AdvanceEpoch();
+  raw->AdvanceEpoch();
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (i == 2) {  // Epoch boundary mid-sequence.
+      mixed->AdvanceEpoch();
+      raw->AdvanceEpoch();
+    }
+    ASSERT_TRUE(raw->Ingest(slices[i]).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(mixed->Ingest(slices[i]).ok());
+    } else {
+      auto y = matrix.MultiplySparse(slices[i].indices, slices[i].values)
+                   .MoveValue();
+      ASSERT_TRUE(mixed->IngestMeasurement(y).ok());
+    }
+  }
+  auto mixed_recovery = mixed->Recover(12).MoveValue();
+  auto raw_recovery = raw->Recover(12).MoveValue();
+  EXPECT_EQ(mixed_recovery.Materialize(400), raw_recovery.Materialize(400));
+}
+
+TEST(WindowedDetectorTest, DetectAfterExpiringAllData) {
+  // Slide the window until every data-carrying epoch expired: the window
+  // measurement is exactly zero, and Detect must degrade gracefully (no
+  // outliers, zero mode) rather than fail or fabricate keys.
+  auto detector =
+      WindowedOutlierDetector::Create(SmallOptions(/*window=*/2)).MoveValue();
+  detector->AdvanceEpoch();
+  ASSERT_TRUE(detector->Ingest(BaselineSlice(400, 10.0)).ok());
+  ASSERT_TRUE(detector->Ingest(Spike(8, 70000.0)).ok());
+  detector->AdvanceEpoch();
+  detector->AdvanceEpoch();  // Epoch 0 expired; both retained epochs empty.
+
+  auto recovery = detector->Recover(12).MoveValue();
+  EXPECT_EQ(recovery.mode, 0.0);
+  auto result = detector->Detect(3).MoveValue();
+  EXPECT_EQ(result.mode, 0.0);
+  for (const auto& outlier : result.outliers) {
+    EXPECT_EQ(outlier.value, 0.0);
+    EXPECT_EQ(outlier.divergence, 0.0);
+  }
+}
+
+TEST(WindowedDetectorTest, ClosedWindowMeasurementExcludesCurrentEpoch) {
+  auto detector =
+      WindowedOutlierDetector::Create(SmallOptions(/*window=*/3)).MoveValue();
+  detector->AdvanceEpoch();
+  EXPECT_FALSE(detector->ClosedWindowMeasurement().ok());  // Nothing closed.
+
+  ASSERT_TRUE(detector->Ingest(Spike(4, 111.0)).ok());
+  detector->AdvanceEpoch();
+  ASSERT_TRUE(detector->Ingest(Spike(6, 222.0)).ok());
+
+  // Closed window == epoch 0 only; the in-progress epoch 1 is excluded.
+  cs::MeasurementMatrix matrix(150, 400, 5);
+  auto epoch0 = matrix.MultiplySparse({4}, {111.0}).MoveValue();
+  EXPECT_EQ(detector->ClosedWindowMeasurement().MoveValue(), epoch0);
+}
+
 TEST(WindowedDetectorTest, EpochCounterAdvances) {
   auto detector = WindowedOutlierDetector::Create(SmallOptions()).MoveValue();
   EXPECT_EQ(detector->current_epoch(), 0u);

@@ -1,16 +1,21 @@
 #include "tools/cli_commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "core/detector.h"
 #include "dist/comm.h"
 #include "outlier/outlier.h"
 #include "query/executor.h"
 #include "query/query.h"
+#include "serve/streaming_detector.h"
 #include "workload/generators.h"
 #include "workload/partitioner.h"
 
@@ -299,6 +304,188 @@ Result<std::string> RunExact(const EventFile& events, size_t k) {
   }
   outlier::OutlierSet truth = outlier::ExactKOutliers(global, k);
   return RenderOutliers(truth, "exact k-outliers (centralized reference)");
+}
+
+namespace {
+
+std::string SnapshotProvenance(const serve::StreamingDetector& detector) {
+  auto snapshot = detector.Snapshot();
+  if (!snapshot) return "snapshot: none published\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "snapshot: v%llu covering epochs %llu..%llu (%zu of window), "
+                "staleness %llu epoch(s), %llu events\n",
+                static_cast<unsigned long long>(snapshot->version),
+                static_cast<unsigned long long>(snapshot->first_epoch),
+                static_cast<unsigned long long>(snapshot->last_epoch),
+                snapshot->epochs_covered,
+                static_cast<unsigned long long>(detector.current_epoch() -
+                                                snapshot->last_epoch),
+                static_cast<unsigned long long>(snapshot->events));
+  return line;
+}
+
+}  // namespace
+
+Result<std::string> RunServe(const EventFile& events,
+                             const ServeOptions& options) {
+  if (options.epochs == 0) {
+    return Status::InvalidArgument("serve: --epochs must be > 0");
+  }
+  if (options.batch_events == 0) {
+    return Status::InvalidArgument("serve: --batch must be > 0");
+  }
+  serve::StreamingDetectorOptions stream;
+  stream.n = options.n_override ? options.n_override : events.key_space;
+  stream.m = options.m;
+  stream.seed = options.seed;
+  stream.iterations = options.iterations;
+  stream.window_epochs = options.window_epochs;
+  stream.num_shards = options.num_shards;
+  stream.telemetry = options.telemetry;
+  CSOD_ASSIGN_OR_RETURN(auto detector,
+                        serve::StreamingDetector::Create(stream));
+
+  // Flatten the file into one replay stream: node-major, file order within
+  // a node — a deterministic stand-in for arrival order.
+  std::vector<size_t> keys;
+  std::vector<double> deltas;
+  keys.reserve(events.num_records);
+  deltas.reserve(events.num_records);
+  for (const auto& split : events.splits) {
+    for (const mr::ScoreEvent& e : split) {
+      keys.push_back(static_cast<size_t>(e.key));
+      deltas.push_back(e.score);
+    }
+  }
+
+  detector->AdvanceEpoch();  // Open epoch 0.
+  const size_t total = keys.size();
+  const size_t per_epoch = (total + options.epochs - 1) / options.epochs;
+  size_t batches = 0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const size_t begin = std::min(epoch * per_epoch, total);
+    const size_t end = std::min(begin + per_epoch, total);
+    for (size_t at = begin; at < end; at += options.batch_events) {
+      const size_t count = std::min(options.batch_events, end - at);
+      CSOD_RETURN_NOT_OK(
+          detector->IngestBatch(keys.data() + at, deltas.data() + at, count));
+      ++batches;
+    }
+    detector->AdvanceEpoch();  // Close the epoch; publish the snapshot.
+  }
+
+  CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet result,
+                        detector->QueryOutliers(options.k));
+
+  std::ostringstream out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "replayed %zu events as %zu epochs (%zu batches of <= %zu, "
+                "%zu shards, window %zu)\n",
+                total, options.epochs, batches, options.batch_events,
+                options.num_shards, options.window_epochs);
+  out << line;
+  out << SnapshotProvenance(*detector);
+  out << RenderOutliers(result, "window k-outliers via BOMP");
+  return out.str();
+}
+
+Result<std::string> RunStreamDemo(const StreamDemoOptions& options) {
+  if (options.n == 0 || options.epochs == 0 || options.events_per_epoch == 0) {
+    return Status::InvalidArgument(
+        "stream-demo: --n, --epochs, --events-per-epoch must be > 0");
+  }
+  serve::StreamingDetectorOptions stream;
+  stream.n = options.n;
+  stream.m = options.m;
+  stream.seed = options.seed;
+  stream.iterations = options.iterations;
+  stream.window_epochs = options.window_epochs;
+  stream.num_shards = options.num_shards;
+  stream.telemetry = options.telemetry;
+  CSOD_ASSIGN_OR_RETURN(auto detector,
+                        serve::StreamingDetector::Create(stream));
+
+  // One planted hot key receives a large spike at the head of every batch;
+  // every other event is baseline noise around the mode.
+  const size_t hot_key = options.n / 3;
+  std::minstd_rand rng(
+      static_cast<std::minstd_rand::result_type>(options.seed ? options.seed
+                                                              : 1));
+  detector->AdvanceEpoch();  // Open epoch 0.
+
+  // The analyst thread: asks top-k queries against whatever snapshot is
+  // published while ingestion runs. Queries before the first publication
+  // fail by contract and are not counted.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries_answered{0};
+  std::thread analyst([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (detector->QueryTopK(options.k).ok()) {
+        queries_answered.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr size_t kBatchEvents = 512;
+  std::vector<size_t> keys(kBatchEvents);
+  std::vector<double> deltas(kBatchEvents);
+  uint64_t events = 0;
+  Status ingest_status;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t epoch = 0; epoch < options.epochs && ingest_status.ok();
+       ++epoch) {
+    size_t remaining = options.events_per_epoch;
+    while (remaining > 0 && ingest_status.ok()) {
+      const size_t count = std::min(kBatchEvents, remaining);
+      for (size_t i = 0; i < count; ++i) {
+        keys[i] = static_cast<size_t>(rng()) % options.n;
+        deltas[i] =
+            options.mode * (0.5 + static_cast<double>(rng() % 1000) / 1000.0);
+      }
+      keys[0] = hot_key;
+      deltas[0] = options.mode * 50.0;
+      ingest_status = detector->IngestBatch(keys.data(), deltas.data(), count);
+      events += count;
+      remaining -= count;
+    }
+    detector->AdvanceEpoch();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  done.store(true, std::memory_order_relaxed);
+  analyst.join();
+  CSOD_RETURN_NOT_OK(ingest_status);
+
+  CSOD_ASSIGN_OR_RETURN(auto top, detector->QueryTopK(options.k));
+
+  std::ostringstream out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "stream demo: N=%zu M=%zu window=%zu shards=%zu hot key %zu\n",
+                options.n, options.m, options.window_epochs,
+                options.num_shards, hot_key);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "ingested %llu events over %zu epochs in %.3f s "
+                "(%.0f events/sec)\n",
+                static_cast<unsigned long long>(events), options.epochs,
+                seconds,
+                seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "concurrent queries answered: %llu\n",
+                static_cast<unsigned long long>(
+                    queries_answered.load(std::memory_order_relaxed)));
+  out << line;
+  out << SnapshotProvenance(*detector);
+  outlier::OutlierSet as_set;
+  as_set.outliers = std::move(top);
+  out << RenderOutliers(as_set, "window top-k via CS recovery");
+  return out.str();
 }
 
 }  // namespace csod::tools

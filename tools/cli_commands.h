@@ -89,6 +89,50 @@ Result<TableFile> LoadCsvTable(const std::string& path);
 Result<std::string> RunQuery(const TableFile& table, const std::string& sql,
                              const DetectOptions& options);
 
+/// Options for the `serve` subcommand: replay an event file through the
+/// streaming detection service (src/serve) as an epoched stream and answer
+/// a window outlier query from the final published snapshot.
+struct ServeOptions {
+  size_t m = 400;
+  size_t k = 5;
+  uint64_t seed = 42;
+  size_t iterations = 0;   ///< 0 = the paper's f(k).
+  size_t n_override = 0;   ///< 0 = infer the key space from the file.
+  size_t window_epochs = 4;
+  size_t epochs = 8;       ///< Epochs the replay is spread over.
+  size_t num_shards = 8;
+  size_t batch_events = 512;  ///< Events per ingest batch.
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// Replays the event file as a stream (node-major, file order) and renders
+/// a report: replay shape, snapshot provenance/staleness, and the window's
+/// k-outliers recovered from the published sketch.
+Result<std::string> RunServe(const EventFile& events,
+                             const ServeOptions& options);
+
+/// Options for the `stream-demo` subcommand: a self-generating synthetic
+/// stream with one planted hot key, ingested while a concurrent analyst
+/// thread asks top-k queries against published snapshots.
+struct StreamDemoOptions {
+  size_t n = 4000;  ///< Key space of the synthetic stream.
+  double mode = 1800.0;
+  size_t m = 400;
+  size_t k = 5;
+  uint64_t seed = 42;
+  size_t iterations = 0;
+  size_t window_epochs = 4;
+  size_t epochs = 12;
+  size_t num_shards = 8;
+  size_t events_per_epoch = 20000;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// Runs the demo and renders a report: ingest throughput, concurrent
+/// queries answered, snapshot staleness, and the final window top-k (which
+/// must surface the planted hot key).
+Result<std::string> RunStreamDemo(const StreamDemoOptions& options);
+
 }  // namespace csod::tools
 
 #endif  // CSOD_TOOLS_CLI_COMMANDS_H_

@@ -1,46 +1,72 @@
 // csod — command-line front end for the CSOD library.
 //
-// Subcommands:
-//   csod generate --out=events.txt [--n=4000 --sparsity=50 --nodes=8
-//                  --mode=1800 --seed=1]
-//       Write a synthetic distributed click-log event file.
-//
-//   csod detect   --in=events.txt [--m=400 --k=5 --seed=42 --iterations=0]
-//       Run CS-based distributed k-outlier detection over the file's nodes.
-//
-//   csod topk     --in=events.txt [--m=400 --k=5 ...]
-//       Run the zero-mode top-k extension.
-//
-//   csod exact    --in=events.txt [--k=5]
-//       Centralized exact reference answer.
-//
-//   csod query    --in=table.csv --sql="SELECT Outlier 5 SUM(Score), g
-//                 FROM t GROUP BY g" [--m= --seed= --iterations=]
-//       Run the paper's query template over a CSV table (one 'node'
-//       column names the owning node; remaining columns are attributes).
+// Run `csod` with no arguments for the subcommand table; every verb, its
+// flags, and its one-line summary are generated from kSubcommands below —
+// add new verbs there, never to hand-maintained usage strings.
 
 #include <cstdio>
 #include <string>
 
 #include "common/flags.h"
+#include "obs/telemetry.h"
 #include "tools/cli_commands.h"
 
 namespace {
 
 using namespace csod;
 
+// The single source of truth for the CLI surface: name, flag synopsis, and
+// one-line summary per verb. Usage() and command validation both read this
+// table, so a verb cannot exist without being documented (and vice versa).
+struct Subcommand {
+  const char* name;
+  const char* args;
+  const char* summary;
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"generate", "--out=FILE [--n= --sparsity= --nodes= --mode= --seed=]",
+     "write a synthetic distributed click-log event file"},
+    {"detect",
+     "--in=FILE [--m= --k= --seed= --iterations= --n= --telemetry-json=FILE]",
+     "CS-based distributed k-outlier detection over the file's nodes"},
+    {"topk",
+     "--in=FILE [--m= --k= --seed= --iterations= --n= --telemetry-json=FILE]",
+     "zero-mode top-k extension via CS recovery"},
+    {"exact", "--in=FILE [--k=]",
+     "centralized exact reference answer"},
+    {"query", "--in=CSV --sql=QUERY [--m= --seed= --iterations=]",
+     "run the paper's query template over a CSV table"},
+    {"serve",
+     "--in=FILE [--epochs= --window= --shards= --batch= --m= --k= --seed= "
+     "--iterations= --n= --telemetry-json=FILE]",
+     "replay the event file through the streaming service and answer a "
+     "window outlier query"},
+    {"stream-demo",
+     "[--n= --mode= --epochs= --events-per-epoch= --window= --shards= --m= "
+     "--k= --seed= --iterations= --telemetry-json=FILE]",
+     "self-generating stream with a concurrent top-k analyst thread"},
+};
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: csod <generate|detect|topk|exact|query> [flags]\n"
-               "  generate --out=FILE [--n= --sparsity= --nodes= --mode= "
-               "--seed=]\n"
-               "  detect   --in=FILE  [--m= --k= --seed= --iterations= --n=\n"
-               "                       --telemetry-json=FILE]\n"
-               "  topk     --in=FILE  [--m= --k= --seed= --iterations= --n=\n"
-               "                       --telemetry-json=FILE]\n"
-               "  exact    --in=FILE  [--k=]\n"
-               "  query    --in=CSV --sql=QUERY [--m= --seed= --iterations=]\n");
+  std::string verbs;
+  for (const Subcommand& sub : kSubcommands) {
+    if (!verbs.empty()) verbs += '|';
+    verbs += sub.name;
+  }
+  std::fprintf(stderr, "usage: csod <%s> [flags]\n", verbs.c_str());
+  for (const Subcommand& sub : kSubcommands) {
+    std::fprintf(stderr, "  %-12s %s\n", sub.name, sub.args);
+    std::fprintf(stderr, "  %-12s   %s\n", "", sub.summary);
+  }
   return 2;
+}
+
+bool KnownCommand(const std::string& name) {
+  for (const Subcommand& sub : kSubcommands) {
+    if (name == sub.name) return true;
+  }
+  return false;
 }
 
 tools::DetectOptions DetectOptionsFromFlags(const FlagParser& flags) {
@@ -58,6 +84,21 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Prints the report, then writes the telemetry snapshot if a live sink was
+// attached (`--telemetry-json=FILE`).
+int Finish(const Result<std::string>& report, const std::string& telemetry_path,
+           const obs::Telemetry& telemetry) {
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(report.Value().c_str(), stdout);
+  if (!telemetry_path.empty()) {
+    const Status written =
+        obs::WriteSnapshotJsonFile(telemetry, telemetry_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("telemetry: %s\n", telemetry_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +106,13 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv).Check();
   if (flags.positional().empty()) return Usage();
   const std::string command = flags.positional().front();
+  if (!KnownCommand(command)) return Usage();
+
+  // --telemetry-json=FILE attaches a live sink to the run and writes the
+  // deterministic snapshot (DESIGN.md §9) after the report.
+  const std::string telemetry_path = flags.GetString("telemetry-json", "");
+  obs::Telemetry telemetry;
+  obs::Telemetry* sink = telemetry_path.empty() ? nullptr : &telemetry;
 
   if (command == "generate") {
     const std::string out = flags.GetString("out", "");
@@ -84,6 +132,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "stream-demo") {
+    tools::StreamDemoOptions options;
+    options.n = static_cast<size_t>(flags.GetInt("n", 4000));
+    options.mode = flags.GetDouble("mode", 1800.0);
+    options.m = static_cast<size_t>(flags.GetInt("m", 400));
+    options.k = static_cast<size_t>(flags.GetInt("k", 5));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.iterations = static_cast<size_t>(flags.GetInt("iterations", 0));
+    options.window_epochs = static_cast<size_t>(flags.GetInt("window", 4));
+    options.epochs = static_cast<size_t>(flags.GetInt("epochs", 12));
+    options.num_shards = static_cast<size_t>(flags.GetInt("shards", 8));
+    options.events_per_epoch =
+        static_cast<size_t>(flags.GetInt("events-per-epoch", 20000));
+    options.telemetry = sink;
+    return Finish(tools::RunStreamDemo(options), telemetry_path, telemetry);
+  }
+
   const std::string in = flags.GetString("in", "");
   if (in.empty()) return Usage();
 
@@ -94,38 +159,34 @@ int main(int argc, char** argv) {
     if (!table.ok()) return Fail(table.status());
     auto report =
         tools::RunQuery(table.Value(), sql, DetectOptionsFromFlags(flags));
-    if (!report.ok()) return Fail(report.status());
-    std::fputs(report.Value().c_str(), stdout);
-    return 0;
+    return Finish(report, telemetry_path, telemetry);
   }
 
   auto events = tools::LoadEvents(in);
   if (!events.ok()) return Fail(events.status());
 
-  // --telemetry-json=FILE attaches a live sink to the run and writes the
-  // deterministic snapshot (DESIGN.md §9) after the report.
-  const std::string telemetry_path = flags.GetString("telemetry-json", "");
-  obs::Telemetry telemetry;
-
   Result<std::string> report = Status::Unimplemented("unknown command");
   if (command == "detect" || command == "topk") {
     tools::DetectOptions options = DetectOptionsFromFlags(flags);
-    if (!telemetry_path.empty()) options.telemetry = &telemetry;
+    options.telemetry = sink;
     report = command == "detect" ? tools::RunDetect(events.Value(), options)
                                  : tools::RunTopK(events.Value(), options);
   } else if (command == "exact") {
     report = tools::RunExact(events.Value(),
                              static_cast<size_t>(flags.GetInt("k", 5)));
-  } else {
-    return Usage();
+  } else if (command == "serve") {
+    tools::ServeOptions options;
+    options.m = static_cast<size_t>(flags.GetInt("m", 400));
+    options.k = static_cast<size_t>(flags.GetInt("k", 5));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.iterations = static_cast<size_t>(flags.GetInt("iterations", 0));
+    options.n_override = static_cast<size_t>(flags.GetInt("n", 0));
+    options.window_epochs = static_cast<size_t>(flags.GetInt("window", 4));
+    options.epochs = static_cast<size_t>(flags.GetInt("epochs", 8));
+    options.num_shards = static_cast<size_t>(flags.GetInt("shards", 8));
+    options.batch_events = static_cast<size_t>(flags.GetInt("batch", 512));
+    options.telemetry = sink;
+    report = tools::RunServe(events.Value(), options);
   }
-  if (!report.ok()) return Fail(report.status());
-  std::fputs(report.Value().c_str(), stdout);
-  if (!telemetry_path.empty()) {
-    const Status written = obs::WriteSnapshotJsonFile(telemetry,
-                                                      telemetry_path);
-    if (!written.ok()) return Fail(written);
-    std::printf("telemetry: %s\n", telemetry_path.c_str());
-  }
-  return 0;
+  return Finish(report, telemetry_path, telemetry);
 }
