@@ -76,6 +76,21 @@ cmake --build "$PORTABLE_BUILD_DIR" -j "$(nproc)" --target \
  ctest --output-on-failure -j "$(nproc)" \
    -R 'Simd|MeasurementMatrix|Compressor|SparseSlice')
 
+# Recovery-engine pass (DESIGN.md §14): the AMP kernel's ParallelFor
+# matvecs, the cross-engine dispatch, the streaming DAMP protocol, and
+# the two-phase sense-then-refine path all thread through the pool and
+# the Channel — rerun their suites explicitly (and again with portable
+# dispatch forced, mirroring the SIMD block above) so a filtered
+# invocation still sanitizes both sides of every recovery engine.
+RECOVERY_FILTER='AmpTest|BiasedAmpTest|SolverTest|SolverDifferential'
+RECOVERY_FILTER+='|AmpProtocol|TwoPhaseProtocol|TelemetryIdentity'
+ctest --output-on-failure -j "$(nproc)" -R "$RECOVERY_FILTER"
+cmake --build "$PORTABLE_BUILD_DIR" -j "$(nproc)" --target \
+  amp_test solver_differential_test
+(cd "$PORTABLE_BUILD_DIR" &&
+ ctest --output-on-failure -j "$(nproc)" \
+   -R 'AmpTest|BiasedAmpTest|SolverTest|SolverDifferential')
+
 # Telemetry double-run determinism + CollectionReport cross-check, against
 # the sanitizer build so the instrumented hot paths also get race coverage.
 BUILD_DIR="$BUILD_DIR" "$ROOT/scripts/run_telemetry_check.sh" --quick

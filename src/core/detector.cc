@@ -113,11 +113,13 @@ Result<outlier::OutlierSet> DistributedOutlierDetector::DetectExcluding(
   const size_t iterations = options_.iterations == 0
                                 ? cs::DefaultIterationsForK(k)
                                 : options_.iterations;
-  cs::BompOptions bomp_options;
-  bomp_options.max_iterations = iterations;
-  bomp_options.telemetry = options_.telemetry;
-  CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery,
-                        cs::RunBomp(*matrix_, partial_y, bomp_options));
+  cs::SolverOptions solver_options;
+  solver_options.solver = options_.solver;
+  solver_options.iterations = iterations;
+  solver_options.telemetry = options_.telemetry;
+  CSOD_ASSIGN_OR_RETURN(
+      cs::BompResult recovery,
+      cs::RecoverBiased(*matrix_, partial_y, solver_options));
   return outlier::KOutliersFromRecovery(recovery, k);
 }
 
@@ -213,10 +215,11 @@ Result<cs::BompResult> DistributedOutlierDetector::Recover(
   if (sketches_.empty()) {
     return Status::FailedPrecondition("Recover: no sources registered");
   }
-  cs::BompOptions bomp_options;
-  bomp_options.max_iterations = iterations;
-  bomp_options.telemetry = options_.telemetry;
-  return cs::RunBomp(*matrix_, global_y_, bomp_options);
+  cs::SolverOptions solver_options;
+  solver_options.solver = options_.solver;
+  solver_options.iterations = iterations;
+  solver_options.telemetry = options_.telemetry;
+  return cs::RecoverBiased(*matrix_, global_y_, solver_options);
 }
 
 }  // namespace csod::core

@@ -12,6 +12,7 @@
 #include "cs/bomp.h"
 #include "cs/compressor.h"
 #include "cs/measurement_matrix.h"
+#include "cs/solver.h"
 #include "outlier/outlier.h"
 
 namespace csod::core {
@@ -28,6 +29,11 @@ struct DetectorOptions {
   /// BOMP iteration budget R; 0 selects the paper's f(k) ∈ [2k, 5k] at
   /// detection time.
   size_t iterations = 0;
+  /// Recovery engine for Detect / DetectTopK / Recover (see cs/solver.h for
+  /// the per-engine budget mapping of `iterations`). A query-time
+  /// preference: it is NOT serialized by Save/Load — sketches are
+  /// engine-agnostic, so a checkpoint can be recovered with any solver.
+  cs::RecoverySolver solver = cs::RecoverySolver::kOmp;
   /// Dense-cache budget for Φ0.
   size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
   /// Telemetry sink (sketch + recovery instrumentation). Not serialized by

@@ -104,9 +104,10 @@ Result<outlier::OutlierSet> WindowedOutlierDetector::Detect(size_t k) const {
 Result<cs::BompResult> WindowedOutlierDetector::Recover(
     size_t iterations) const {
   CSOD_ASSIGN_OR_RETURN(std::vector<double> y, WindowMeasurement());
-  cs::BompOptions options;
-  options.max_iterations = iterations;
-  return cs::RunBomp(*matrix_, y, options);
+  cs::SolverOptions solver_options;
+  solver_options.solver = options_.solver;
+  solver_options.iterations = iterations;
+  return cs::RecoverBiased(*matrix_, y, solver_options);
 }
 
 }  // namespace csod::core

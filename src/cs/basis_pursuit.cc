@@ -72,6 +72,7 @@ Result<BasisPursuitResult> RunBasisPursuit(
   // Small safety factor: power iteration under-estimates slightly.
   const double step = 1.0 / (lipschitz * 1.05);
 
+  obs::TraceSpan span(options.telemetry, "fista.recover");
   BasisPursuitResult result;
   std::vector<double> x(n, 0.0);
   std::vector<double> momentum = x;  // FISTA extrapolation point.
@@ -106,6 +107,15 @@ Result<BasisPursuitResult> RunBasisPursuit(
     x = std::move(x_next);
     t_prev = t_next;
     result.iterations = iter + 1;
+    if (options.telemetry != nullptr && options.telemetry->enabled()) {
+      // Per-iteration trajectory, recorded serially like the greedy
+      // engines' histograms so snapshots stay deterministic. The residual
+      // at the extrapolation point is already in hand — no extra matvec.
+      options.telemetry->RecordValue("fista.residual_norm",
+                                     la::Norm2(residual));
+      options.telemetry->RecordValue("fista.relative_change",
+                                     change / scale);
+    }
     if (change / scale < options.tolerance) break;
   }
 
@@ -113,6 +123,13 @@ Result<BasisPursuitResult> RunBasisPursuit(
                         dictionary.MultiplyDense(x));
   result.final_residual_norm = la::DistanceL2(fitted, y);
   result.x = std::move(x);
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.telemetry->AddCounter("fista.runs");
+    options.telemetry->RecordValue("fista.iterations",
+                                   static_cast<double>(result.iterations));
+    options.telemetry->RecordValue("fista.final_residual_norm",
+                                   result.final_residual_norm);
+  }
   return result;
 }
 

@@ -23,6 +23,9 @@ struct BasisPursuitOptions {
   /// Atom indices exempt from the L1 penalty (used by the biased variant
   /// to leave the bias coefficient free). Must be sorted or small.
   std::vector<size_t> unpenalized_atoms;
+  /// Telemetry sink ("fista.*" histograms + the "fista.recover" span) —
+  /// the same parity as the OMP/CoSaMP engines. Null or disabled is free.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of a basis-pursuit recovery.

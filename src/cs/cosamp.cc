@@ -77,6 +77,7 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
   std::vector<double> fitted(m);
   std::vector<double> atom(m);
   double prev_residual_norm = y_norm;
+  double last_residual_norm = y_norm;
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     // 1. Identify: 2s strongest correlations, merged with the support.
@@ -110,7 +111,10 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
       la::Axpy(new_coeffs[i], atom, &fitted);
     }
     la::SubtractInto(y, fitted, &residual);
+    // Computed once per iteration; the loop's checks and the final
+    // diagnostics below all reuse this value (no recompute at the end).
     const double residual_norm = la::Norm2(residual);
+    last_residual_norm = residual_norm;
 
     support = std::move(new_support);
     coefficients = std::move(new_coeffs);
@@ -129,7 +133,7 @@ Result<CosampResult> RunCosamp(const Dictionary& dictionary,
 
   result.selected = std::move(support);
   result.coefficients = std::move(coefficients);
-  result.final_residual_norm = la::Norm2(residual);
+  result.final_residual_norm = last_residual_norm;
   if (options.telemetry != nullptr && options.telemetry->enabled()) {
     options.telemetry->AddCounter("cosamp.runs");
     options.telemetry->RecordValue("cosamp.iterations",

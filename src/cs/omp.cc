@@ -40,7 +40,6 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
   // nothing of size M or N.
   std::vector<double> projection(m);
   std::vector<double> qty_scratch;
-  double prev_residual_norm = y_norm;
 
   for (size_t iter = 0; iter < iteration_cap; ++iter) {
     // Statement 4 of Algorithm 2: argmax over unselected atoms of
@@ -68,7 +67,13 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
     // Statement 6: r <- y - proj(y, Φs).
     CSOD_RETURN_NOT_OK(qr.ProjectInto(y, &qty_scratch, &projection));
     la::SubtractInto(y, projection, &residual);
+    // Computed once per iteration and reused for the trajectory, the
+    // telemetry histogram, the tolerance check, and the stagnation check
+    // (the previous iteration's value is read back off the trajectory
+    // rather than shadowed in a separate variable).
     const double residual_norm = la::Norm2(residual);
+    const double prev_residual_norm =
+        result.residual_norms.empty() ? y_norm : result.residual_norms.back();
     result.residual_norms.push_back(residual_norm);
     result.iterations = iter + 1;
     if (options.telemetry != nullptr && options.telemetry->enabled()) {
@@ -105,7 +110,6 @@ Result<OmpResult> RunOmp(const Dictionary& dictionary,
       result.stopped_by_stagnation = true;
       break;
     }
-    prev_residual_norm = residual_norm;
   }
 
   if (!result.selected.empty()) {

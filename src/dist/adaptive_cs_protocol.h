@@ -6,10 +6,28 @@
 
 #include "cs/bomp.h"
 #include "cs/measurement_matrix.h"
+#include "cs/solver.h"
 #include "dist/fault.h"
 #include "dist/protocol.h"
 
 namespace csod::dist {
+
+/// How the adaptive protocol spends its measurement budget.
+enum class AdaptiveStrategy {
+  /// Grow M geometrically until the recovery certifies itself (the
+  /// original behavior; incremental rows, log(M/M₀) rounds).
+  kGrowM,
+  /// Li & Haupt-style two-phase sense-then-refine (PAPERS.md): a coarse
+  /// pass with M₁ ≪ M *locates* candidate outlier columns, the
+  /// coordinator broadcasts that candidate support S, and a second pass
+  /// senses only the |S| restricted columns with M₂ = |S| + margin rows —
+  /// the refine solve is then an overdetermined least squares, exact in
+  /// the noiseless model. Total bytes per node are (M₁ + M₂)·S_M plus
+  /// |S| broadcast key ids, well below a fixed-M run at matched
+  /// precision/recall (docs/THEORY.md §8 gives the budget bound;
+  /// bench/bench_recovery measures it on the Fig 7 workload).
+  kTwoPhase,
+};
 
 /// Configuration of the adaptive CS protocol.
 struct AdaptiveCsOptions {
@@ -43,6 +61,25 @@ struct AdaptiveCsOptions {
   /// longer be extended — and recovery proceeds from the partial sum of
   /// the surviving nodes. When false such a run fails instead.
   bool allow_degraded = true;
+
+  /// Budget strategy; the knobs below apply to kTwoPhase only.
+  AdaptiveStrategy strategy = AdaptiveStrategy::kGrowM;
+  /// Coarse-pass measurement size M₁. Locating the top-k among the
+  /// candidates is much easier than recovering exact values, so M₁ can
+  /// sit well below the fixed-M budget the one-shot protocol needs.
+  size_t locate_m = 256;
+  /// Candidate support size |S| = support_factor · k (clamped to what the
+  /// locate recovery actually produced). Over-selecting buys locate
+  /// recall: a true outlier merely has to *appear* in S, not rank top-k.
+  size_t support_factor = 4;
+  /// Refine-pass rows M₂ = |S| + refine_margin (refine_m overrides when
+  /// nonzero). M₂ > |S| makes the restricted system overdetermined, so
+  /// the refine values are least-squares exact rather than CS estimates.
+  size_t refine_margin = 16;
+  size_t refine_m = 0;
+  /// Recovery engine for the locate pass (the refine pass is a plain
+  /// least squares and has no engine choice).
+  cs::RecoverySolver solver = cs::RecoverySolver::kOmp;
 };
 
 /// Diagnostics of one adaptive round.
@@ -52,6 +89,9 @@ struct AdaptiveRound {
   /// Detected top-k matched the previous round's.
   bool topk_stable = false;
   bool accepted = false;
+  /// "grow" for the geometric strategy; "locate" / "refine" for the
+  /// two-phase strategy's passes.
+  const char* phase = "grow";
 };
 
 /// \brief Adaptive-measurement extension of the paper's protocol: pick M
@@ -75,7 +115,10 @@ class AdaptiveCsProtocol final : public OutlierProtocol {
 
   Result<outlier::OutlierSet> Run(const Cluster& cluster, size_t k,
                                   CommStats* comm) override;
-  std::string name() const override { return "AdaptiveBOMP"; }
+  std::string name() const override {
+    return options_.strategy == AdaptiveStrategy::kTwoPhase ? "TwoPhaseCS"
+                                                            : "AdaptiveBOMP";
+  }
 
   /// Per-round diagnostics of the last Run().
   const std::vector<AdaptiveRound>& rounds() const { return rounds_; }
@@ -86,6 +129,11 @@ class AdaptiveCsProtocol final : public OutlierProtocol {
   const CollectionReport& last_collection() const { return last_collection_; }
 
  private:
+  Result<outlier::OutlierSet> RunGrow(const Cluster& cluster, size_t k,
+                                      CommStats* comm);
+  Result<outlier::OutlierSet> RunTwoPhase(const Cluster& cluster, size_t k,
+                                          CommStats* comm);
+
   AdaptiveCsOptions options_;
   std::vector<AdaptiveRound> rounds_;
   cs::BompResult last_recovery_;

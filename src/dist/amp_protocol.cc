@@ -1,0 +1,188 @@
+#include "dist/amp_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "cs/compressor.h"
+#include "la/vector_ops.h"
+#include "outlier/outlier.h"
+
+namespace csod::dist {
+
+Result<outlier::OutlierSet> DistributedAmpProtocol::Run(const Cluster& cluster,
+                                                        size_t k,
+                                                        CommStats* comm) {
+  if (comm == nullptr) {
+    return Status::InvalidArgument(
+        "DistributedAmpProtocol: comm must not be null");
+  }
+  if (options_.m == 0) {
+    return Status::InvalidArgument("DistributedAmpProtocol: m must be > 0");
+  }
+  if (options_.max_rounds == 0) {
+    return Status::InvalidArgument(
+        "DistributedAmpProtocol: max_rounds must be > 0");
+  }
+  if (options_.threshold_decay <= 0.0 || options_.threshold_decay >= 1.0) {
+    return Status::InvalidArgument(
+        "DistributedAmpProtocol: threshold_decay must be in (0, 1)");
+  }
+  if (cluster.num_nodes() == 0) {
+    return Status::FailedPrecondition("DistributedAmpProtocol: empty cluster");
+  }
+
+  obs::TraceSpan run_span(telemetry_, "protocol.damp");
+  rounds_.clear();
+  last_recovery_ = cs::BompResult{};
+  const size_t m = options_.m;
+  const size_t n = cluster.key_space_size();
+
+  const FaultInjector injector(options_.faults);
+  Channel channel(comm, options_.faults.any() ? &injector : nullptr,
+                  telemetry_);
+  std::vector<NodeId> alive = cluster.NodeIds();
+  last_collection_ = CollectionReport{};
+  last_collection_.nodes_total = alive.size();
+
+  // Node-side state: each node sketches its slice locally; the full
+  // M-vector never ships. The coordinator tracks, per node, which
+  // components have arrived (`sent`) and their running partial sum
+  // (`partial`) — the latter is what gets subtracted when a node is
+  // excluded mid-protocol.
+  cs::MeasurementMatrix matrix(m, n, options_.seed,
+                               options_.cache_budget_bytes);
+  cs::Compressor compressor(&matrix);
+  compressor.set_telemetry(telemetry_);
+  std::map<NodeId, std::vector<double>> local_y;
+  std::map<NodeId, std::vector<char>> sent;
+  std::map<NodeId, std::vector<double>> partial;
+  for (NodeId id : alive) {
+    CSOD_ASSIGN_OR_RETURN(const cs::SparseSlice* slice, cluster.Slice(id));
+    obs::TraceSpan node_span(telemetry_, "sketch.node");
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> y_l,
+                          compressor.Compress(*slice));
+    local_y.emplace(id, std::move(y_l));
+    sent.emplace(id, std::vector<char>(m, 0));
+    partial.emplace(id, std::vector<double>(m, 0.0));
+  }
+
+  auto drop_failed = [&](const std::vector<bool>& delivered) {
+    std::vector<NodeId> still_alive;
+    still_alive.reserve(alive.size());
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (delivered[i]) still_alive.push_back(alive[i]);
+    }
+    alive = std::move(still_alive);
+  };
+  auto check_degraded = [&]() -> Status {
+    if (last_collection_.degraded() && !options_.allow_degraded) {
+      return Status::FailedPrecondition(
+          "DistributedAmpProtocol: " +
+          std::to_string(last_collection_.excluded_nodes.size()) +
+          " node(s) unreachable after retries and degraded mode is "
+          "disabled");
+    }
+    if (alive.empty()) {
+      return Status::FailedPrecondition(
+          "DistributedAmpProtocol: every node failed — no state to "
+          "aggregate");
+    }
+    return Status::OK();
+  };
+
+  // Round 0: every node reports its local ‖y_l‖_∞ (one value tuple) so
+  // the coordinator can fix the cluster-wide threshold schedule.
+  channel.BeginRound();
+  drop_failed(CollectWithRetry(&channel, options_.retry, alive, "amp-norm",
+                               1, kValueBytes, &last_collection_));
+  CSOD_RETURN_NOT_OK(check_degraded());
+  double tau0 = 0.0;
+  for (NodeId id : alive) {
+    for (double v : local_y[id]) tau0 = std::max(tau0, std::fabs(v));
+  }
+
+  double tau = options_.threshold_decay * tau0;
+  std::vector<double> y_hat(m, 0.0);
+  std::vector<size_t> previous_topk;
+  for (size_t round = 1; round <= options_.max_rounds; ++round) {
+    // The final round completes the transfer: every unsent component
+    // ships, so the terminal answer is AMP on the exact aggregate of the
+    // surviving nodes.
+    const bool flush = round == options_.max_rounds;
+    channel.BeginRound();
+    // Broadcast τ_r to every surviving node (reliable control plane).
+    channel.Control("amp-threshold", alive.size(), kValueBytes);
+
+    std::vector<uint64_t> counts(alive.size(), 0);
+    for (size_t i = 0; i < alive.size(); ++i) {
+      const std::vector<double>& y_l = local_y[alive[i]];
+      const std::vector<char>& sent_l = sent[alive[i]];
+      for (size_t j = 0; j < m; ++j) {
+        if (!sent_l[j] && (flush || std::fabs(y_l[j]) >= tau)) ++counts[i];
+      }
+    }
+    const std::vector<bool> delivered =
+        CollectWithRetry(&channel, options_.retry, alive, "amp-state",
+                         counts, kKeyValueBytes, &last_collection_);
+    uint64_t round_tuples = 0;
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (!delivered[i]) continue;  // Dropped below; partial stays stale.
+      round_tuples += counts[i];
+      std::vector<char>& sent_l = sent[alive[i]];
+      std::vector<double>& partial_l = partial[alive[i]];
+      const std::vector<double>& y_l = local_y[alive[i]];
+      for (size_t j = 0; j < m; ++j) {
+        if (!sent_l[j] && (flush || std::fabs(y_l[j]) >= tau)) {
+          partial_l[j] = y_l[j];
+          sent_l[j] = 1;
+        }
+      }
+    }
+    drop_failed(delivered);
+    CSOD_RETURN_NOT_OK(check_degraded());
+
+    // Aggregate the arrived state of the surviving nodes, folded in node
+    // order (serial — deterministic at any parallelism limit).
+    std::fill(y_hat.begin(), y_hat.end(), 0.0);
+    for (NodeId id : alive) la::Axpy(1.0, partial[id], &y_hat);
+    bool all_sent = true;
+    for (NodeId id : alive) {
+      const std::vector<char>& sent_l = sent[id];
+      for (size_t j = 0; j < m && all_sent; ++j) {
+        if (!sent_l[j]) all_sent = false;
+      }
+    }
+
+    cs::AmpOptions amp;
+    amp.max_iterations = options_.iterations;
+    amp.threshold_multiplier = options_.threshold_multiplier;
+    amp.telemetry = telemetry_;
+    CSOD_ASSIGN_OR_RETURN(last_recovery_,
+                          cs::RunBiasedAmp(matrix, y_hat, amp));
+
+    const outlier::OutlierSet detected =
+        outlier::KOutliersFromRecovery(last_recovery_, k);
+    std::vector<size_t> topk_keys;
+    topk_keys.reserve(detected.outliers.size());
+    for (const auto& o : detected.outliers) topk_keys.push_back(o.key_index);
+    std::sort(topk_keys.begin(), topk_keys.end());
+
+    AmpRound diag;
+    diag.threshold = flush ? 0.0 : tau;
+    diag.tuples = round_tuples;
+    diag.topk_stable =
+        !rounds_.empty() && topk_keys == previous_topk && !topk_keys.empty();
+    diag.accepted = flush || all_sent ||
+                    (options_.accept_on_stable_topk && diag.topk_stable);
+    rounds_.push_back(diag);
+    previous_topk = std::move(topk_keys);
+    if (diag.accepted) break;
+    tau *= options_.threshold_decay;
+  }
+
+  return outlier::KOutliersFromRecovery(last_recovery_, k);
+}
+
+}  // namespace csod::dist

@@ -1,0 +1,104 @@
+#ifndef CSOD_DIST_AMP_PROTOCOL_H_
+#define CSOD_DIST_AMP_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cs/amp.h"
+#include "cs/bomp.h"
+#include "cs/measurement_matrix.h"
+#include "dist/fault.h"
+#include "dist/protocol.h"
+
+namespace csod::dist {
+
+/// Configuration of the distributed-AMP protocol.
+struct DistributedAmpOptions {
+  /// Measurement size M (same budget semantics as CsProtocolOptions::m).
+  size_t m = 0;
+  /// Consensus seed.
+  uint64_t seed = 1;
+  /// AMP iteration budget per round's recovery (0 = the AMP default).
+  size_t iterations = 0;
+  /// Streaming rounds budget. The final round completes the transfer
+  /// (every unsent component ships), so the protocol's answer can never
+  /// be worse than AMP on the exact aggregate of the surviving nodes.
+  size_t max_rounds = 5;
+  /// Per-round threshold decay: τ_{r+1} = decay · τ_r, with τ_1 = decay
+  /// times the largest per-node |y_l|_∞. Smaller decay ships more per
+  /// round (fewer rounds); larger decay probes with less data first.
+  double threshold_decay = 0.3;
+  /// Stop as soon as the detected top-k is identical in two consecutive
+  /// rounds (the same practical criterion as AdaptiveCsProtocol).
+  bool accept_on_stable_topk = true;
+  /// AMP soft-threshold multiplier (see AmpOptions).
+  double threshold_multiplier = 1.4;
+  /// Dense-cache budget for the recovery matrix.
+  size_t cache_budget_bytes = cs::MeasurementMatrix::kDefaultCacheBudgetBytes;
+  /// Fault plan applied to every round's state transmissions.
+  FaultPlan faults;
+  /// Coordinator retry/timeout policy per round.
+  RetryPolicy retry;
+  /// When true (default), nodes that exhaust the retry budget are dropped
+  /// and their partial state is removed from the aggregate (CS linearity
+  /// makes the partial sum sound); when false such a run fails.
+  bool allow_degraded = true;
+};
+
+/// Diagnostics of one streaming round.
+struct AmpRound {
+  /// Threshold τ_r applied this round (0 for the completing flush).
+  double threshold = 0.0;
+  /// Key-value state tuples shipped cluster-wide this round.
+  uint64_t tuples = 0;
+  bool topk_stable = false;
+  bool accepted = false;
+};
+
+/// \brief Distributed AMP (after Han et al., PAPERS.md): the recovery-side
+/// counterpart of the adaptive sensing protocols. Instead of every node
+/// shipping its full M-vector y_l in one round, nodes stream *thresholded
+/// per-round state*: round r ships only the not-yet-sent components of
+/// y_l with |y_l[i]| ≥ τ_r as (row, value) tuples, the coordinator folds
+/// them into an approximate aggregate ŷ and runs the biased AMP engine on
+/// it. The τ schedule decays geometrically, so ŷ → y and the per-round
+/// perturbation ‖ŷ − y‖_∞ ≤ τ_r behaves exactly like the bounded noise
+/// AMP's state-evolution threshold θ_t = λσ̂_t already absorbs. The
+/// protocol accepts when the detected top-k is stable across consecutive
+/// rounds — typically before most of y has shipped — trading more rounds
+/// for fewer bytes per round (and usually fewer bytes in total; see
+/// bench/bench_recovery for the measured crossover against the one-shot
+/// CS protocol).
+///
+/// Every transmission is routed through `Channel`/`CollectWithRetry`, so
+/// the retry, fault-injection, and degraded-mode machinery (and the
+/// `comm.*` telemetry) apply unchanged. A node that exhausts its retry
+/// budget in any round is excluded from then on and its already-folded
+/// partial state is subtracted from ŷ — sound by linearity, same
+/// semantics as the other CS protocols (docs/FAULT_MODEL.md).
+class DistributedAmpProtocol final : public OutlierProtocol {
+ public:
+  explicit DistributedAmpProtocol(DistributedAmpOptions options)
+      : options_(options) {}
+
+  Result<outlier::OutlierSet> Run(const Cluster& cluster, size_t k,
+                                  CommStats* comm) override;
+  std::string name() const override { return "DistAMP"; }
+
+  /// Per-round diagnostics of the last Run().
+  const std::vector<AmpRound>& rounds() const { return rounds_; }
+  /// Recovery of the accepted (or final) round.
+  const cs::BompResult& last_recovery() const { return last_recovery_; }
+  /// Fault-tolerance outcome of the last Run().
+  const CollectionReport& last_collection() const { return last_collection_; }
+
+ private:
+  DistributedAmpOptions options_;
+  std::vector<AmpRound> rounds_;
+  cs::BompResult last_recovery_;
+  CollectionReport last_collection_;
+};
+
+}  // namespace csod::dist
+
+#endif  // CSOD_DIST_AMP_PROTOCOL_H_

@@ -16,6 +16,9 @@ namespace csod::dist {
 inline constexpr uint64_t kValueBytes = 8;        ///< S_v
 inline constexpr uint64_t kKeyValueBytes = 12;    ///< S_t
 inline constexpr uint64_t kMeasurementBytes = 8;  ///< S_M
+/// A bare 32-bit key id (no value attached) — what the two-phase refine
+/// support broadcast ships per candidate column.
+inline constexpr uint64_t kKeyBytes = 4;
 
 /// \brief Byte-exact communication accounting for a protocol run.
 ///
@@ -138,6 +141,16 @@ std::vector<bool> CollectWithRetry(Channel* channel, const RetryPolicy& retry,
                                    const std::string& phase, uint64_t tuples,
                                    uint64_t bytes_per_tuple,
                                    CollectionReport* report);
+
+/// Same loop with a per-node tuple count (`tuples_per_node[i]` tuples from
+/// `nodes[i]`) — the shape the distributed-AMP protocol needs, where each
+/// node ships only its above-threshold state and counts differ per node.
+/// `tuples_per_node.size()` must equal `nodes.size()`.
+std::vector<bool> CollectWithRetry(
+    Channel* channel, const RetryPolicy& retry,
+    const std::vector<NodeId>& nodes, const std::string& phase,
+    const std::vector<uint64_t>& tuples_per_node, uint64_t bytes_per_tuple,
+    CollectionReport* report);
 
 }  // namespace csod::dist
 

@@ -43,6 +43,7 @@ Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Create(
   wopts.m = options.m;
   wopts.seed = options.seed;
   wopts.iterations = options.iterations;
+  wopts.solver = options.solver;
   // The ring holds the W closed epochs a snapshot covers plus the
   // in-progress epoch still accepting data.
   wopts.window_epochs = options.window_epochs + 1;
@@ -272,11 +273,12 @@ Result<outlier::OutlierSet> StreamingDetector::QueryOutliers(size_t k) const {
   const size_t iterations = options_.iterations == 0
                                 ? cs::DefaultIterationsForK(k)
                                 : options_.iterations;
-  cs::BompOptions bomp;
-  bomp.max_iterations = iterations;
-  bomp.telemetry = telemetry_;
+  cs::SolverOptions solve;
+  solve.solver = options_.solver;
+  solve.iterations = iterations;
+  solve.telemetry = telemetry_;
   CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery,
-                        cs::RunBomp(matrix(), snapshot->y, bomp));
+                        cs::RecoverBiased(matrix(), snapshot->y, solve));
   return outlier::KOutliersFromRecovery(recovery, k);
 }
 
@@ -297,11 +299,12 @@ Result<std::vector<outlier::Outlier>> StreamingDetector::QueryTopK(
   const size_t iterations = options_.iterations == 0
                                 ? cs::DefaultIterationsForK(k)
                                 : options_.iterations;
-  cs::BompOptions bomp;
-  bomp.max_iterations = iterations;
-  bomp.telemetry = telemetry_;
+  cs::SolverOptions solve;
+  solve.solver = options_.solver;
+  solve.iterations = iterations;
+  solve.telemetry = telemetry_;
   CSOD_ASSIGN_OR_RETURN(cs::BompResult recovery,
-                        cs::RunBomp(matrix(), snapshot->y, bomp));
+                        cs::RecoverBiased(matrix(), snapshot->y, solve));
   // Rank recovered entries by value, ties toward the lower key — the same
   // ordering as DistributedOutlierDetector::DetectTopK.
   std::vector<outlier::Outlier> top;
@@ -330,10 +333,11 @@ Result<cs::BompResult> StreamingDetector::QueryRecovery(
   }
   obs::TraceSpan span(telemetry_, "serve.query");
   telemetry_->AddCounter("serve.queries");
-  cs::BompOptions bomp;
-  bomp.max_iterations = iterations;
-  bomp.telemetry = telemetry_;
-  return cs::RunBomp(matrix(), snapshot->y, bomp);
+  cs::SolverOptions solve;
+  solve.solver = options_.solver;
+  solve.iterations = iterations;
+  solve.telemetry = telemetry_;
+  return cs::RecoverBiased(matrix(), snapshot->y, solve);
 }
 
 Status StreamingDetector::SetShardStalled(uint32_t shard, bool stalled) {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/windowed_detector.h"
 #include "cs/bomp.h"
+#include "cs/solver.h"
 #include "obs/telemetry.h"
 #include "outlier/outlier.h"
 #include "serve/snapshot.h"
@@ -37,6 +38,9 @@ struct StreamingDetectorOptions {
   size_t m = 0;
   uint64_t seed = 1;
   size_t iterations = 0;
+  /// Recovery engine for QueryOutliers / QueryTopK / QueryRecovery
+  /// (cs/solver.h). A query-time preference: snapshots are engine-agnostic.
+  cs::RecoverySolver solver = cs::RecoverySolver::kOmp;
   /// Closed epochs a window covers (the in-progress epoch is extra).
   size_t window_epochs = 0;
   /// Ingestion shards; a batch is radix-partitioned across them and folded

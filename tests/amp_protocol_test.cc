@@ -1,0 +1,193 @@
+#include "dist/amp_protocol.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cs/compressor.h"
+#include "dist/cs_protocol.h"
+#include "la/vector_ops.h"
+#include "outlier/metrics.h"
+#include "workload/generators.h"
+#include "workload/partitioner.h"
+
+namespace csod::dist {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+struct TestCluster {
+  std::vector<double> global;
+  std::unique_ptr<Cluster> cluster;
+  outlier::OutlierSet truth;
+};
+
+TestCluster MakeSetup(size_t n, size_t s, size_t k, uint64_t seed) {
+  workload::MajorityDominatedOptions gen;
+  gen.n = n;
+  gen.sparsity = s;
+  gen.seed = seed;
+  TestCluster setup;
+  setup.global = workload::GenerateMajorityDominated(gen).MoveValue();
+
+  workload::PartitionOptions part;
+  part.num_nodes = 6;
+  part.strategy = workload::PartitionStrategy::kSkewedSplit;
+  part.seed = seed + 1;
+  auto slices = workload::PartitionAdditive(setup.global, part).MoveValue();
+  setup.cluster = std::make_unique<Cluster>(n);
+  for (auto& slice : slices) {
+    EXPECT_TRUE(setup.cluster->AddNode(std::move(slice)).ok());
+  }
+  setup.truth = outlier::ExactKOutliers(setup.global, k);
+  return setup;
+}
+
+TEST(AmpProtocolTest, ValidatesOptions) {
+  Cluster cluster(10);
+  ASSERT_TRUE(cluster.AddNode({}).ok());
+  CommStats comm;
+
+  DistributedAmpOptions bad;  // m == 0.
+  EXPECT_FALSE(DistributedAmpProtocol(bad).Run(cluster, 3, &comm).ok());
+  bad.m = 64;
+  bad.max_rounds = 0;
+  EXPECT_FALSE(DistributedAmpProtocol(bad).Run(cluster, 3, &comm).ok());
+  bad.max_rounds = 5;
+  bad.threshold_decay = 1.0;
+  EXPECT_FALSE(DistributedAmpProtocol(bad).Run(cluster, 3, &comm).ok());
+  bad.threshold_decay = 0.3;
+  EXPECT_FALSE(DistributedAmpProtocol(bad).Run(cluster, 3, nullptr).ok());
+  Cluster empty(10);
+  EXPECT_FALSE(DistributedAmpProtocol(bad).Run(empty, 3, &comm).ok());
+}
+
+TEST(AmpProtocolTest, FlushRoundMatchesCentralizedAmpBitwise) {
+  // With stable-top-k acceptance off the protocol runs to its final flush
+  // round, after which ŷ is the exact aggregate — so the answer must be
+  // bit-identical to RunBiasedAmp on the per-node fold.
+  const size_t k = 5;
+  TestCluster setup = MakeSetup(600, 12, k, 7);
+
+  DistributedAmpOptions options;
+  options.m = 220;
+  options.seed = 19;
+  options.max_rounds = 3;
+  options.accept_on_stable_topk = false;
+  DistributedAmpProtocol protocol(options);
+  CommStats comm;
+  auto result = protocol.Run(*setup.cluster, k, &comm).MoveValue();
+  ASSERT_EQ(protocol.rounds().size(), options.max_rounds);
+  EXPECT_TRUE(protocol.rounds().back().accepted);
+
+  // Reference: fold the per-node measurements in node order (exactly the
+  // aggregation the coordinator performs) and recover centrally.
+  cs::MeasurementMatrix matrix(options.m, setup.cluster->key_space_size(),
+                               options.seed);
+  cs::Compressor compressor(&matrix);
+  std::vector<double> y_hat(options.m, 0.0);
+  for (NodeId id : setup.cluster->NodeIds()) {
+    const cs::SparseSlice* slice = setup.cluster->Slice(id).Value();
+    auto y_l = compressor.Compress(*slice).MoveValue();
+    la::Axpy(1.0, y_l, &y_hat);
+  }
+  auto central = cs::RunBiasedAmp(matrix, y_hat, cs::AmpOptions{}).MoveValue();
+
+  EXPECT_EQ(Bits(protocol.last_recovery().mode), Bits(central.mode));
+  ASSERT_EQ(protocol.last_recovery().entries.size(), central.entries.size());
+  for (size_t i = 0; i < central.entries.size(); ++i) {
+    EXPECT_EQ(protocol.last_recovery().entries[i].index,
+              central.entries[i].index);
+    EXPECT_EQ(Bits(protocol.last_recovery().entries[i].value),
+              Bits(central.entries[i].value));
+  }
+  EXPECT_DOUBLE_EQ(outlier::ErrorOnKey(setup.truth, result), 0.0);
+}
+
+TEST(AmpProtocolTest, StableTopKShipsFewerTuplesThanFullTransfer) {
+  const size_t k = 5;
+  TestCluster setup = MakeSetup(800, 10, k, 11);
+
+  DistributedAmpOptions options;
+  options.m = 260;
+  options.seed = 23;
+  options.max_rounds = 6;
+  DistributedAmpProtocol protocol(options);
+  CommStats comm;
+  auto result = protocol.Run(*setup.cluster, k, &comm).MoveValue();
+
+  EXPECT_DOUBLE_EQ(outlier::ErrorOnKey(setup.truth, result), 0.0);
+  ASSERT_FALSE(protocol.rounds().empty());
+  EXPECT_TRUE(protocol.rounds().back().accepted);
+
+  // A full transfer ships L·M measurement components. Every shipped state
+  // tuple is (row, value), plus L norm tuples in round 0; acceptance via
+  // stable top-k must beat the full transfer on tuple count.
+  const uint64_t full_transfer =
+      setup.cluster->num_nodes() * options.m;
+  EXPECT_LT(comm.tuples_total(), full_transfer);
+
+  // Components never ship twice: summed state tuples stay under L·M even
+  // if the protocol runs to flush.
+  uint64_t state_tuples = 0;
+  for (const AmpRound& round : protocol.rounds()) {
+    state_tuples += round.tuples;
+  }
+  EXPECT_LE(state_tuples, full_transfer);
+}
+
+TEST(AmpProtocolTest, DegradedModeExcludesFailedNodes) {
+  const size_t k = 4;
+  TestCluster setup = MakeSetup(500, 8, k, 13);
+
+  DistributedAmpOptions options;
+  options.m = 180;
+  options.seed = 29;
+  options.faults.crash_nodes = {setup.cluster->NodeIds()[0]};
+  DistributedAmpProtocol protocol(options);
+  CommStats comm;
+  auto result = protocol.Run(*setup.cluster, k, &comm);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(protocol.last_collection().excluded_nodes.empty());
+  EXPECT_TRUE(protocol.last_collection().degraded());
+
+  // The same fault plan with degraded mode disabled must fail loudly.
+  options.allow_degraded = false;
+  DistributedAmpProtocol strict(options);
+  CommStats strict_comm;
+  EXPECT_FALSE(strict.Run(*setup.cluster, k, &strict_comm).ok());
+}
+
+TEST(AmpProtocolTest, AccountsEveryPhaseThroughChannel) {
+  const size_t k = 5;
+  TestCluster setup = MakeSetup(600, 10, k, 17);
+
+  DistributedAmpOptions options;
+  options.m = 200;
+  options.seed = 31;
+  DistributedAmpProtocol protocol(options);
+  CommStats comm;
+  ASSERT_TRUE(protocol.Run(*setup.cluster, k, &comm).ok());
+
+  const auto& by_phase = comm.bytes_by_phase();
+  ASSERT_TRUE(by_phase.count("amp-norm"));
+  ASSERT_TRUE(by_phase.count("amp-state"));
+  ASSERT_TRUE(by_phase.count("amp-threshold"));
+  EXPECT_EQ(by_phase.at("amp-norm"),
+            setup.cluster->num_nodes() * kValueBytes);
+  uint64_t state_tuples = 0;
+  for (const AmpRound& round : protocol.rounds()) {
+    state_tuples += round.tuples;
+  }
+  EXPECT_EQ(by_phase.at("amp-state"), state_tuples * kKeyValueBytes);
+  EXPECT_EQ(comm.rounds(), protocol.rounds().size() + 1);  // + norm round.
+}
+
+}  // namespace
+}  // namespace csod::dist

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+
 #include "common/random.h"
 #include "cs/measurement_matrix.h"
 #include "la/vector_ops.h"
+#include "obs/telemetry.h"
 
 namespace csod::cs {
 namespace {
@@ -125,6 +129,50 @@ TEST(BiasedBasisPursuitTest, UnpenalizedAtomOutOfRangeRejected) {
   options.unpenalized_atoms = {99};
   std::vector<double> y(8, 1.0);
   EXPECT_FALSE(RunBasisPursuit(dict, y, options).ok());
+}
+
+TEST(BasisPursuitTest, TelemetryTransparentAndRecords) {
+  // FISTA telemetry parity (ISSUE 8 satellite): a live sink observes the
+  // solve — fista.recover span, fista.runs counter, iteration/residual
+  // histograms — without changing a single output bit.
+  const size_t n = 128;
+  MeasurementMatrix matrix(64, n, 41);
+  std::vector<double> x(n, 0.0);
+  x[7] = 9.0;
+  x[90] = -6.0;
+  auto y = matrix.Multiply(x).MoveValue();
+
+  BasisPursuitOptions live_options;
+  live_options.max_iterations = 400;
+  obs::Telemetry telemetry;
+  live_options.telemetry = &telemetry;
+  auto live = RunBasisPursuit(matrix, y, live_options).MoveValue();
+
+  BasisPursuitOptions plain_options;
+  plain_options.max_iterations = 400;
+  plain_options.telemetry = obs::Telemetry::Disabled();
+  auto plain = RunBasisPursuit(matrix, y, plain_options).MoveValue();
+
+  ASSERT_EQ(live.x.size(), plain.x.size());
+  for (size_t i = 0; i < live.x.size(); ++i) {
+    uint64_t live_bits, plain_bits;
+    std::memcpy(&live_bits, &live.x[i], sizeof(live_bits));
+    std::memcpy(&plain_bits, &plain.x[i], sizeof(plain_bits));
+    EXPECT_EQ(live_bits, plain_bits) << "x[" << i << "]";
+  }
+  EXPECT_EQ(live.iterations, plain.iterations);
+
+  // Same instrument names as OMP/CoSaMP/AMP: <engine>.recover span,
+  // <engine>.runs counter, iteration and residual value series.
+  const std::string snapshot = telemetry.SnapshotJson();
+  EXPECT_NE(snapshot.find("fista.recover"), std::string::npos);
+  EXPECT_NE(snapshot.find("fista.runs"), std::string::npos);
+  EXPECT_NE(snapshot.find("fista.iterations"), std::string::npos);
+  EXPECT_NE(snapshot.find("fista.final_residual_norm"), std::string::npos);
+
+  // The disabled singleton records nothing at all.
+  EXPECT_EQ(obs::Telemetry::Disabled()->SnapshotJson(),
+            obs::Telemetry().SnapshotJson());
 }
 
 TEST(BasisPursuitTest, ReportsIterations) {

@@ -36,6 +36,33 @@ if(NOT exact_out MATCHES "${top_key}")
           "detect top key '${top_key}' not in exact reference:\n${exact_out}")
 endif()
 
+# Alternate recovery engine: --solver=amp must run, report its provenance,
+# and agree with the exact reference on the top key.
+execute_process(
+  COMMAND "${CSOD_CLI}" detect --in=${events} --m=250 --k=3 --iterations=20
+          --solver=amp
+  RESULT_VARIABLE amp_result OUTPUT_VARIABLE amp_out)
+if(NOT amp_result EQUAL 0)
+  message(FATAL_ERROR "csod detect --solver=amp failed: ${amp_out}")
+endif()
+if(NOT amp_out MATCHES "solver: amp")
+  message(FATAL_ERROR "detect output missing solver provenance: ${amp_out}")
+endif()
+string(REGEX MATCH "key [0-9]+" amp_top_key "${amp_out}")
+if(NOT exact_out MATCHES "${amp_top_key}")
+  message(FATAL_ERROR
+          "amp top key '${amp_top_key}' not in exact reference:\n${exact_out}")
+endif()
+
+# An unknown solver name must fail loudly, not fall back silently.
+execute_process(
+  COMMAND "${CSOD_CLI}" detect --in=${events} --solver=lasso
+  RESULT_VARIABLE bad_solver_result OUTPUT_VARIABLE bad_solver_out
+  ERROR_VARIABLE bad_solver_err)
+if(bad_solver_result EQUAL 0)
+  message(FATAL_ERROR "csod detect --solver=lasso unexpectedly succeeded")
+endif()
+
 # Streaming replay of the same file: must publish a snapshot and answer a
 # window query, and the telemetry snapshot must land on disk.
 set(telemetry "${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_telemetry.json")

@@ -63,6 +63,7 @@ Result<std::unique_ptr<core::DistributedOutlierDetector>> BuildDetector(
   detector_options.m = options.m;
   detector_options.seed = options.seed;
   detector_options.iterations = options.iterations;
+  detector_options.solver = options.solver;
   detector_options.telemetry = options.telemetry;
   CSOD_ASSIGN_OR_RETURN(auto detector,
                         core::DistributedOutlierDetector::Create(
@@ -171,6 +172,7 @@ Result<std::string> RunDetect(const EventFile& events,
   CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet result,
                         detector->Detect(options.k));
   std::string report = RenderOutliers(result, "k-outliers via BOMP");
+  report += std::string("solver: ") + cs::SolverName(options.solver) + "\n";
   report += CommunicationFooter(events, options, detector->options().n);
   return report;
 }
@@ -182,6 +184,7 @@ Result<std::string> RunTopK(const EventFile& events,
   outlier::OutlierSet as_set;
   as_set.outliers = std::move(top);
   std::string report = RenderOutliers(as_set, "top-k via CS recovery");
+  report += std::string("solver: ") + cs::SolverName(options.solver) + "\n";
   report += CommunicationFooter(events, options, detector->options().n);
   return report;
 }

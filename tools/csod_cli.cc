@@ -28,10 +28,12 @@ constexpr Subcommand kSubcommands[] = {
     {"generate", "--out=FILE [--n= --sparsity= --nodes= --mode= --seed=]",
      "write a synthetic distributed click-log event file"},
     {"detect",
-     "--in=FILE [--m= --k= --seed= --iterations= --n= --telemetry-json=FILE]",
+     "--in=FILE [--m= --k= --seed= --iterations= --n= "
+     "--solver={omp|cosamp|fista|amp} --telemetry-json=FILE]",
      "CS-based distributed k-outlier detection over the file's nodes"},
     {"topk",
-     "--in=FILE [--m= --k= --seed= --iterations= --n= --telemetry-json=FILE]",
+     "--in=FILE [--m= --k= --seed= --iterations= --n= "
+     "--solver={omp|cosamp|fista|amp} --telemetry-json=FILE]",
      "zero-mode top-k extension via CS recovery"},
     {"exact", "--in=FILE [--k=]",
      "centralized exact reference answer"},
@@ -69,13 +71,15 @@ bool KnownCommand(const std::string& name) {
   return false;
 }
 
-tools::DetectOptions DetectOptionsFromFlags(const FlagParser& flags) {
+Result<tools::DetectOptions> DetectOptionsFromFlags(const FlagParser& flags) {
   tools::DetectOptions options;
   options.m = static_cast<size_t>(flags.GetInt("m", 400));
   options.k = static_cast<size_t>(flags.GetInt("k", 5));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.iterations = static_cast<size_t>(flags.GetInt("iterations", 0));
   options.n_override = static_cast<size_t>(flags.GetInt("n", 0));
+  CSOD_ASSIGN_OR_RETURN(
+      options.solver, cs::ParseSolverName(flags.GetString("solver", "omp")));
   return options;
 }
 
@@ -157,8 +161,9 @@ int main(int argc, char** argv) {
     if (sql.empty()) return Usage();
     auto table = tools::LoadCsvTable(in);
     if (!table.ok()) return Fail(table.status());
-    auto report =
-        tools::RunQuery(table.Value(), sql, DetectOptionsFromFlags(flags));
+    auto options = DetectOptionsFromFlags(flags);
+    if (!options.ok()) return Fail(options.status());
+    auto report = tools::RunQuery(table.Value(), sql, options.Value());
     return Finish(report, telemetry_path, telemetry);
   }
 
@@ -167,7 +172,9 @@ int main(int argc, char** argv) {
 
   Result<std::string> report = Status::Unimplemented("unknown command");
   if (command == "detect" || command == "topk") {
-    tools::DetectOptions options = DetectOptionsFromFlags(flags);
+    auto parsed = DetectOptionsFromFlags(flags);
+    if (!parsed.ok()) return Fail(parsed.status());
+    tools::DetectOptions options = parsed.Value();
     options.telemetry = sink;
     report = command == "detect" ? tools::RunDetect(events.Value(), options)
                                  : tools::RunTopK(events.Value(), options);
