@@ -20,6 +20,7 @@
 #include "cs/compressor.h"
 #include "cs/measurement_matrix.h"
 #include "la/incremental_qr.h"
+#include "sim/buggify.h"
 #include "sketch/count_sketch.h"
 #include "sketch/hyperloglog.h"
 #include "workload/generators.h"
@@ -336,6 +337,35 @@ void BM_MeasurementAggregation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * m);
 }
 BENCHMARK(BM_MeasurementAggregation)->Arg(400)->Arg(2000);
+
+// Disabled Buggify sites live in release hot paths (comm sends, map
+// tasks, ingest batches — DESIGN.md §15), so their cost must be one
+// relaxed load and a never-taken branch. Measured here against an empty
+// loop so a regression (say, a mutex sneaking into the fast path) shows
+// up as a multiple, not a few lost nanoseconds.
+void BM_BuggifyDisabledSite(benchmark::State& state) {
+  sim::BuggifyDisable();
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    if (CSOD_BUGGIFY("bench.disabled_site")) ++fired;
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_BuggifyDisabledSite);
+
+void BM_BuggifyEnabledSite(benchmark::State& state) {
+  sim::BuggifyOptions options;
+  options.activation_probability = 1.0;
+  options.fire_probability = 0.25;
+  sim::BuggifyEnable(options);
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    if (CSOD_BUGGIFY("bench.enabled_site")) ++fired;
+    benchmark::DoNotOptimize(fired);
+  }
+  sim::BuggifyDisable();
+}
+BENCHMARK(BM_BuggifyEnabledSite);
 
 }  // namespace
 

@@ -91,6 +91,15 @@ cmake --build "$PORTABLE_BUILD_DIR" -j "$(nproc)" --target \
  ctest --output-on-failure -j "$(nproc)" \
    -R 'AmpTest|BiasedAmpTest|SolverTest|SolverDifferential')
 
+# Simulation smoke pass: a small seeded sweep through the full harness
+# (all nine scenario kinds, Buggify hooks hot, every scenario internally
+# re-executed at a second thread limit) under the sanitizer. TSan is the
+# interesting one — Buggify's section registry and the serve stall storm
+# both poke shared state from pool threads. The sim_test suite and the
+# regression corpus run as part of tier-1 above; this adds fresh seeds.
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target sim_driver
+"$BUILD_DIR/tools/sim_driver" --scenarios=24 --seed0=4242
+
 # Telemetry double-run determinism + CollectionReport cross-check, against
 # the sanitizer build so the instrumented hot paths also get race coverage.
 BUILD_DIR="$BUILD_DIR" "$ROOT/scripts/run_telemetry_check.sh" --quick

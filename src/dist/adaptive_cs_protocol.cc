@@ -4,9 +4,11 @@
 #include <cmath>
 #include <string>
 
+#include "common/random.h"
 #include "cs/compressor.h"
 #include "la/incremental_qr.h"
 #include "la/vector_ops.h"
+#include "sim/buggify.h"
 
 namespace csod::dist {
 
@@ -65,9 +67,28 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::RunGrow(const Cluster& cluster,
     // A node that fails this round (after retries) drops out for good: its
     // already-shipped prefix cannot be extended to the new M, so its whole
     // contribution leaves the aggregate (docs/FAULT_MODEL.md).
-    const std::vector<bool> round_delivered = CollectWithRetry(
+    std::vector<bool> round_delivered = CollectWithRetry(
         &channel, options_.retry, alive, "adaptive-measurements", m - prev_m,
         kMeasurementBytes, &last_collection_);
+    // Buggify: a torn round — the node shipped its incremental rows but
+    // dies before the round commits, so its *entire* prefix (not just the
+    // new rows) leaves the aggregate, exactly like a retry exhaustion.
+    // At least one node survives every round.
+    if (sim::BuggifyEnabled()) {
+      size_t round_alive = 0;
+      for (size_t i = 0; i < alive.size(); ++i) {
+        if (round_delivered[i]) ++round_alive;
+      }
+      for (size_t i = 0; i < alive.size() && round_alive > 1; ++i) {
+        if (!round_delivered[i]) continue;
+        if (CSOD_BUGGIFY_AT("protocol.adaptive.torn_round",
+                            HashCombine(m, alive[i]))) {
+          round_delivered[i] = false;
+          last_collection_.excluded_nodes.push_back(alive[i]);
+          --round_alive;
+        }
+      }
+    }
     std::vector<NodeId> still_alive;
     still_alive.reserve(alive.size());
     for (size_t i = 0; i < alive.size(); ++i) {
@@ -286,6 +307,25 @@ Result<outlier::OutlierSet> AdaptiveCsProtocol::RunTwoPhase(
   const size_t m2 = options_.refine_m != 0
                         ? options_.refine_m
                         : support.size() + options_.refine_margin;
+  // Buggify: a node dies in the gap between the passes — it contributed to
+  // the locate sketch but never answers the refine request, so the refine
+  // least-squares sees the partial aggregate (a torn two-phase state). The
+  // coordinator handles it like any refine-pass exclusion.
+  if (sim::BuggifyEnabled()) {
+    size_t phase_alive = alive.size();
+    std::vector<NodeId> survivors;
+    survivors.reserve(alive.size());
+    for (NodeId id : alive) {
+      if (phase_alive > 1 &&
+          CSOD_BUGGIFY_AT("protocol.twophase.interphase_crash", id)) {
+        last_collection_.excluded_nodes.push_back(id);
+        --phase_alive;
+        continue;
+      }
+      survivors.push_back(id);
+    }
+    alive = std::move(survivors);
+  }
   channel.BeginRound();
   // Coordinator broadcasts S to every surviving node (reliable control
   // plane): |S| bare key ids per node.

@@ -5,9 +5,11 @@
 #include <map>
 #include <string>
 
+#include "common/random.h"
 #include "cs/compressor.h"
 #include "la/vector_ops.h"
 #include "outlier/outlier.h"
+#include "sim/buggify.h"
 
 namespace csod::dist {
 
@@ -142,6 +144,25 @@ Result<outlier::OutlierSet> DistributedAmpProtocol::Run(const Cluster& cluster,
     }
     drop_failed(delivered);
     CSOD_RETURN_NOT_OK(check_degraded());
+    // Buggify: a node dies after its state arrived but before the fold —
+    // its entire running partial leaves the aggregate (the subtraction
+    // path the `partial` map exists for). At least one node survives.
+    if (sim::BuggifyEnabled()) {
+      std::vector<NodeId> survivors;
+      survivors.reserve(alive.size());
+      size_t round_alive = alive.size();
+      for (NodeId id : alive) {
+        if (round_alive > 1 &&
+            CSOD_BUGGIFY_AT("protocol.amp.midround_crash",
+                            HashCombine(round, id))) {
+          last_collection_.excluded_nodes.push_back(id);
+          --round_alive;
+          continue;
+        }
+        survivors.push_back(id);
+      }
+      alive = std::move(survivors);
+    }
 
     // Aggregate the arrived state of the surviving nodes, folded in node
     // order (serial — deterministic at any parallelism limit).

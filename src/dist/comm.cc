@@ -1,5 +1,7 @@
 #include "dist/comm.h"
 
+#include "sim/buggify.h"
+
 namespace csod::dist {
 
 void Channel::Mirror(const std::string& phase, uint64_t tuples,
@@ -20,6 +22,15 @@ Delivery Channel::Send(NodeId node, const std::string& phase, uint64_t tuples,
     ++fault_stats_.crashed;
     if (trace) telemetry_->AddCounter("fault.crashed");
     return d;
+  }
+  // Buggify perturbs the delivery *before* the accounting below, so every
+  // extra copy or lost message flows through the same byte/telemetry
+  // bookkeeping as plan-injected faults — the telemetry == CommStats
+  // invariant holds by construction, not by parallel bookkeeping.
+  if (!d.dropped && CSOD_BUGGIFY("comm.send.drop")) d.dropped = true;
+  if (CSOD_BUGGIFY("comm.send.delay")) d.delay_ticks += 7;
+  if (!d.duplicated && CSOD_BUGGIFY("comm.send.duplicate")) {
+    d.duplicated = true;
   }
   stats_->Account(phase, tuples, bytes_per_tuple);
   if (trace) Mirror(phase, tuples, bytes_per_tuple);
@@ -65,6 +76,11 @@ std::vector<bool> CollectWithRetry(
         // The coordinator re-requests only this node's missing payload:
         // one key tuple on the reliable control plane.
         channel->Control("retry-request", 1, kValueBytes);
+        // A flaky coordinator may fire the same re-request twice; the
+        // duplicate costs control bytes but must change nothing else.
+        if (CSOD_BUGGIFY("comm.collect.dup_rerequest")) {
+          channel->Control("retry-request", 1, kValueBytes);
+        }
         if (report != nullptr) ++report->retries;
         channel->telemetry()->AddCounter("comm.retries");
       }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cs/compressor.h"
+#include "sim/buggify.h"
 
 namespace csod::dist {
 
@@ -40,9 +41,28 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
   const std::vector<NodeId> ids = cluster.NodeIds();
   last_collection_ = CollectionReport{};
   last_collection_.nodes_total = ids.size();
-  const std::vector<bool> delivered =
+  std::vector<bool> delivered =
       CollectWithRetry(&channel, options_.retry, ids, "measurements",
                        options_.m, kMeasurementBytes, &last_collection_);
+  // Buggify: a node can die *after* its measurement arrived but before the
+  // coordinator folds the aggregate (mid-round crash). The coordinator
+  // treats it exactly like a retry-budget exhaustion: exclude the node and
+  // recover from the partial sum. At least one node always survives — a
+  // coordinator with zero inputs has nothing to degrade to.
+  if (sim::BuggifyEnabled()) {
+    size_t alive = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (delivered[i]) ++alive;
+    }
+    for (size_t i = 0; i < ids.size() && alive > 1; ++i) {
+      if (!delivered[i]) continue;
+      if (CSOD_BUGGIFY_AT("protocol.cs.midround_crash", ids[i])) {
+        delivered[i] = false;
+        last_collection_.excluded_nodes.push_back(ids[i]);
+        --alive;
+      }
+    }
+  }
   if (last_collection_.degraded() && !options_.allow_degraded) {
     return Status::FailedPrecondition(
         "CsOutlierProtocol: " +
@@ -54,7 +74,9 @@ Result<outlier::OutlierSet> CsOutlierProtocol::Run(const Cluster& cluster,
   // partial sum on a degraded run — still Φ0 times the partial aggregate
   // by linearity, so recovery stays sound for the alive slices).
   std::vector<double> y;
-  if (!options_.faults.any()) {
+  if (!options_.faults.any() && !last_collection_.degraded()) {
+    // (The degraded() guard matters: Buggify can exclude nodes even when
+    // no fault plan is armed, and the fast path must not resurrect them.)
     // Fault-free fast path: fused compress-and-accumulate across the whole
     // cluster, never materializing per-node y_l vectors.
     // CompressAccumulate is bit-identical to the per-node path below

@@ -19,8 +19,17 @@ constexpr uint64_t kDuplicateTag = 0x64757065ULL;    // "dupe"
 }  // namespace
 
 uint64_t RetryPolicy::TimeoutForAttempt(size_t attempt) const {
+  // A backoff below 1 would make retries *stricter* than the initial
+  // attempt, which no caller can mean; clamp to flat timeouts.
+  const double factor = backoff < 1.0 ? 1.0 : backoff;
   double timeout = static_cast<double>(timeout_ticks);
-  for (size_t i = 0; i < attempt; ++i) timeout *= backoff;
+  for (size_t i = 0; i < attempt; ++i) {
+    timeout *= factor;
+    // Saturate instead of overflowing: past 2^63 the double->uint64_t cast
+    // below is implementation-defined, and any such timeout means "wait
+    // forever" anyway.
+    if (timeout >= 9.2e18) return UINT64_MAX;
+  }
   return static_cast<uint64_t>(std::ceil(timeout));
 }
 

@@ -23,11 +23,15 @@ struct RetryPolicy {
   size_t max_retries = 3;
   /// Ticks the coordinator waits for the first attempt.
   uint64_t timeout_ticks = 4;
-  /// Timeout multiplier per retry (>= 1).
+  /// Timeout multiplier per retry (>= 1; values below 1 are treated as 1,
+  /// i.e. a flat timeout — retries must never be stricter than attempt 0).
   double backoff = 2.0;
 
   /// The timeout applied to attempt `attempt` (0 = initial attempt):
-  /// ceil(timeout_ticks * backoff^attempt).
+  /// ceil(timeout_ticks * backoff^attempt), saturating at UINT64_MAX once
+  /// the backed-off timeout exceeds the representable range ("wait
+  /// forever"). `timeout_ticks == 0` is valid and means only zero-delay
+  /// deliveries pass on attempt 0.
   uint64_t TimeoutForAttempt(size_t attempt) const;
 };
 

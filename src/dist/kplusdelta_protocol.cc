@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "sim/buggify.h"
 
 namespace csod::dist {
 
@@ -56,6 +57,11 @@ Result<outlier::OutlierSet> KPlusDeltaProtocol::Run(const Cluster& cluster,
   // --- Round 2: broadcast the mode estimate (control plane). ---
   channel.BeginRound();
   channel.Control("round2-broadcast", cluster.num_nodes(), kValueBytes);
+  // Buggify: a flaky coordinator re-broadcasts b. Receiving the same mode
+  // estimate twice is idempotent at every node — only control bytes grow.
+  if (CSOD_BUGGIFY("protocol.kplusdelta.rebroadcast")) {
+    channel.Control("round2-broadcast", cluster.num_nodes(), kValueBytes);
+  }
 
   // --- Round 3: per-node locally-most-divergent keys w.r.t. b. ---
   channel.BeginRound();

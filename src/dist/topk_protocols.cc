@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/buggify.h"
+
 namespace csod::dist {
 
 namespace {
@@ -111,6 +113,13 @@ Result<TopKRunResult> RunThresholdAlgorithmTopK(const Cluster& cluster,
       if (end > cursor[l]) {
         channel.Send(ids[l], "sorted-access", end - cursor[l],
                      kKeyValueBytes);
+        // Buggify: the node re-sends the whole batch (e.g. an ack was
+        // lost). The coordinator already merged these entries, so the
+        // re-send is pure wire cost — the answer must not move.
+        if (CSOD_BUGGIFY("protocol.ta.resend_batch")) {
+          channel.Send(ids[l], "sorted-access", end - cursor[l],
+                       kKeyValueBytes);
+        }
       }
       cursor[l] = end;
       // Frontier value: the last value this node released (0 when the
@@ -178,6 +187,11 @@ Result<TopKRunResult> RunTputTopK(const Cluster& cluster, size_t k,
   // --- Phase 2: prune with the uniform threshold τ/L. ---
   channel.BeginRound();
   channel.Control("phase2-broadcast", num_nodes, kValueBytes);
+  // Buggify: the threshold broadcast fires twice. τ/L is the same value
+  // both times, so nodes prune identically — only control bytes grow.
+  if (CSOD_BUGGIFY("protocol.tput.rebroadcast")) {
+    channel.Control("phase2-broadcast", num_nodes, kValueBytes);
+  }
   const double node_threshold = tau / static_cast<double>(num_nodes);
   std::unordered_set<size_t> candidates;
   for (const auto& [key, v] : partial_sums) candidates.insert(key);

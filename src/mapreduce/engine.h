@@ -17,6 +17,7 @@
 #include "mapreduce/cost_model.h"
 #include "mapreduce/shuffle.h"
 #include "obs/telemetry.h"
+#include "sim/buggify.h"
 
 namespace csod::mr {
 
@@ -296,7 +297,24 @@ Result<JobResult<Out>> RunJob(const std::vector<std::vector<Input>>& splits,
     ParallelForEach(splits.size(), [&](size_t s) {
       TaskState& t = tasks[s];
       t.arena = std::make_unique<Arena>();
-      t.emitter = std::make_unique<Emitter<K, V>>(t.arena.get());
+      // Buggify: partition-buffer pressure — tiny column chunks force
+      // every chunk-boundary path in the radix scatter and shuffle merge.
+      // Pure layout change: emitted tuples, byte accounting, and output
+      // are bit-identical either way.
+      const size_t chunk_elems =
+          CSOD_BUGGIFY_AT("mr.emitter.tiny_chunks", s)
+              ? 3
+              : ColumnChunks<K>::kDefaultChunkElems;
+      t.emitter = std::make_unique<Emitter<K, V>>(t.arena.get(), chunk_elems);
+      // Buggify: task re-execution — this map task already ran once on a
+      // worker that then died. The dead attempt's emits land in a scratch
+      // arena and are discarded whole; only the surviving attempt is
+      // accounted, so stats and output cannot move.
+      if (CSOD_BUGGIFY_AT("mr.map.reexecute", s)) {
+        Arena scratch_arena;
+        Emitter<K, V> scratch(&scratch_arena);
+        job.map_fn(splits[s], &scratch);
+      }
       Stopwatch map_watch;
       job.map_fn(splits[s], t.emitter.get());
       // The map stopwatch stops *before* combining/partitioning: grouping

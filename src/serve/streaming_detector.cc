@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "mapreduce/shuffle.h"
+#include "sim/buggify.h"
 
 namespace csod::serve {
 
@@ -90,6 +91,21 @@ Status StreamingDetector::IngestBatch(const size_t* keys, const double* deltas,
     if (keys[i] >= options_.n) {
       return Status::OutOfRange("IngestBatch: key " + std::to_string(keys[i]) +
                                 " out of N " + std::to_string(options_.n));
+    }
+  }
+
+  // Buggify: stall/unstall storm — before partitioning the batch, flip a
+  // deterministic subset of shards (keyed on the batch ordinal) through
+  // the real stall machinery. Stalling defers this batch's share; a flip
+  // back replays the backlog into the current epoch, so every event is
+  // still folded exactly once (the conservation invariant).
+  if (sim::BuggifyEnabled()) {
+    const uint64_t batch_ordinal = buggify_batches_++;
+    for (uint32_t p = 0; p < options_.num_shards; ++p) {
+      if (CSOD_BUGGIFY_AT("serve.ingest.stall_storm",
+                          HashCombine(batch_ordinal, p))) {
+        CSOD_RETURN_NOT_OK(SetShardStalledLocked(p, !stalled_[p]));
+      }
     }
   }
 
@@ -224,7 +240,13 @@ uint64_t StreamingDetector::AdvanceEpochLocked() {
       publish = closed >= options_.window_epochs &&
                 epoch % options_.window_epochs == 0;
     }
-    if (publish) PublishLocked();
+    if (publish) {
+      PublishLocked();
+      // Buggify: epoch-advance race — a second publisher runs before the
+      // first one's swap is observed. Publication is idempotent up to the
+      // version counter, so the race must only bump version/snapshots.
+      if (CSOD_BUGGIFY_AT("serve.epoch.republish", epoch)) PublishLocked();
+    }
   }
   return epoch;
 }
@@ -342,6 +364,10 @@ Result<cs::BompResult> StreamingDetector::QueryRecovery(
 
 Status StreamingDetector::SetShardStalled(uint32_t shard, bool stalled) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  return SetShardStalledLocked(shard, stalled);
+}
+
+Status StreamingDetector::SetShardStalledLocked(uint32_t shard, bool stalled) {
   if (shard >= options_.num_shards) {
     return Status::InvalidArgument(
         "SetShardStalled: shard " + std::to_string(shard) + " out of " +

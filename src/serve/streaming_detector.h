@@ -180,6 +180,7 @@ class StreamingDetector {
   void PublishLocked();
   void FlushIngestTelemetryLocked();
   Status FoldShardMeasurementsLocked(size_t num_slices, uint64_t events);
+  Status SetShardStalledLocked(uint32_t shard, bool stalled);
 
   StreamingDetectorOptions options_;
   obs::Telemetry* telemetry_;  // Never null (Disabled() when unset).
@@ -206,6 +207,9 @@ class StreamingDetector {
   uint64_t pending_events_ = 0;
   uint64_t pending_deferred_ = 0;
   double pending_ingest_seconds_ = 0.0;
+  // Batches seen since construction — the deterministic ordinal the
+  // Buggify stall-storm hook keys its per-batch decisions on.
+  uint64_t buggify_batches_ = 0;
 
   std::atomic<bool> started_{false};
   std::atomic<uint64_t> current_epoch_{0};

@@ -1,0 +1,95 @@
+#ifndef CSOD_SIM_BUGGIFY_H_
+#define CSOD_SIM_BUGGIFY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csod::sim {
+
+/// Configuration of one simulation run's fault-section behavior
+/// (FoundationDB's Buggify knobs: activation picks *which* sections are
+/// live this run, firing picks *which hits* of a live section misbehave).
+struct BuggifyOptions {
+  /// Master simulation seed. Activation and firing are pure functions of
+  /// (seed, section id, invocation ordinal), so a failure replays
+  /// bit-identically from this one value.
+  uint64_t seed = 1;
+  /// Probability that a named section is active at all this run.
+  double activation_probability = 0.25;
+  /// Probability that one hit of an active section fires.
+  double fire_probability = 0.25;
+};
+
+/// Per-section accounting since the last BuggifyEnable.
+struct BuggifySectionReport {
+  std::string name;
+  bool activated = false;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// Arms every CSOD_BUGGIFY site with `options` and resets all per-section
+/// ordinals and counts, so the decision stream restarts from scratch —
+/// calling Enable twice with the same options replays the identical fault
+/// schedule. Must not race in-flight sections (enable between runs, not
+/// during one).
+void BuggifyEnable(const BuggifyOptions& options);
+
+/// Disarms every site; CSOD_BUGGIFY collapses back to one inline branch.
+void BuggifyDisable();
+
+/// Options of the current (or most recent) enable.
+BuggifyOptions BuggifyCurrentOptions();
+
+/// Every section that has ever been hit, sorted by name, with counts
+/// since the last enable.
+std::vector<BuggifySectionReport> BuggifyReport();
+
+/// Total fires across all sections since the last enable.
+uint64_t BuggifyFireCount();
+
+namespace internal {
+
+/// The one word every disabled CSOD_BUGGIFY site reads. Relaxed is
+/// correct: enable/disable happen between simulation runs, never
+/// concurrently with the sections they arm.
+inline std::atomic<bool> g_buggify_enabled{false};
+
+/// Slow path (enabled runs only): ordinal = the section's own hit
+/// counter. Deterministic only at serially executed sites (coordinator
+/// loops); parallel sites must use FireAt.
+bool Fire(const char* section);
+
+/// Slow path with a caller-supplied ordinal — a pure function of
+/// (seed, section, ordinal), independent of thread schedule. Use from
+/// parallel sites (map task index, shard id, epoch).
+bool FireAt(const char* section, uint64_t ordinal);
+
+}  // namespace internal
+
+/// True while a simulation has sections armed.
+inline bool BuggifyEnabled() {
+  return internal::g_buggify_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace csod::sim
+
+/// Marks a fault-injection point. Evaluates to true when the simulation
+/// wants this hit to misbehave; in normal operation (Buggify disabled)
+/// the whole expression is one relaxed load and one predictable branch —
+/// cheap enough for release hot paths. The ordinal is the section's own
+/// hit counter, so use this form only at serially executed sites.
+#define CSOD_BUGGIFY(section)            \
+  (::csod::sim::BuggifyEnabled() &&      \
+   ::csod::sim::internal::Fire(section))
+
+/// CSOD_BUGGIFY for sites executed by pool threads: the caller supplies a
+/// deterministic ordinal (task index, shard id, epoch) so the decision is
+/// independent of the thread schedule and parallelism limit.
+#define CSOD_BUGGIFY_AT(section, ordinal) \
+  (::csod::sim::BuggifyEnabled() &&       \
+   ::csod::sim::internal::FireAt(section, (ordinal)))
+
+#endif  // CSOD_SIM_BUGGIFY_H_

@@ -127,6 +127,135 @@ TEST(RetryPolicyTest, TimeoutBacksOffExponentially) {
   EXPECT_EQ(retry.TimeoutForAttempt(3), 32u);
 }
 
+TEST(RetryPolicyTest, BackoffBelowOneClampsToFlatTimeouts) {
+  // backoff < 1 would make every retry *stricter* than attempt 0; the
+  // policy clamps it to 1 (flat), it never rejects or shrinks.
+  RetryPolicy retry;
+  retry.timeout_ticks = 6;
+  retry.backoff = 0.25;
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(retry.TimeoutForAttempt(attempt), 6u) << attempt;
+  }
+  retry.backoff = 1.0;  // Exactly flat is also valid.
+  EXPECT_EQ(retry.TimeoutForAttempt(50), 6u);
+  retry.backoff = -3.0;  // Nonsense negative backoff clamps the same way.
+  EXPECT_EQ(retry.TimeoutForAttempt(7), 6u);
+}
+
+TEST(RetryPolicyTest, OverflowSaturatesToWaitForever) {
+  RetryPolicy retry;
+  retry.timeout_ticks = 1000;
+  retry.backoff = 10.0;
+  // 1000 * 10^16 = 10^19 > 2^63: saturated, not wrapped.
+  EXPECT_EQ(retry.TimeoutForAttempt(16), UINT64_MAX);
+  EXPECT_EQ(retry.TimeoutForAttempt(400), UINT64_MAX);  // Stays saturated.
+  // The attempt just below the overflow threshold is still exact.
+  EXPECT_EQ(retry.TimeoutForAttempt(3), 1000000u);
+  // Once saturated, "wait forever" beats any finite delay.
+  Delivery slow;
+  slow.delay_ticks = UINT64_MAX - 1;
+  EXPECT_TRUE(slow.Arrived(retry.TimeoutForAttempt(16)));
+}
+
+TEST(RetryPolicyTest, ZeroTimeoutAdmitsOnlyImmediateDeliveries) {
+  // timeout_ticks == 0 is valid: the strictest policy, where only
+  // zero-delay messages pass — it must not trip division or overflow
+  // paths, and backoff multiplies 0 into 0 forever.
+  RetryPolicy retry;
+  retry.timeout_ticks = 0;
+  retry.backoff = 2.0;
+  for (size_t attempt = 0; attempt < 70; ++attempt) {
+    EXPECT_EQ(retry.TimeoutForAttempt(attempt), 0u) << attempt;
+  }
+  Delivery on_time;
+  EXPECT_TRUE(on_time.Arrived(retry.TimeoutForAttempt(0)));
+  Delivery late;
+  late.delay_ticks = 1;
+  EXPECT_FALSE(late.Arrived(retry.TimeoutForAttempt(5)));
+}
+
+TEST(RetryPolicyTest, FractionalBackoffRoundsUpPerAttempt) {
+  RetryPolicy retry;
+  retry.timeout_ticks = 3;
+  retry.backoff = 1.5;
+  EXPECT_EQ(retry.TimeoutForAttempt(0), 3u);
+  EXPECT_EQ(retry.TimeoutForAttempt(1), 5u);   // ceil(4.5)
+  EXPECT_EQ(retry.TimeoutForAttempt(2), 7u);   // ceil(6.75)
+  EXPECT_EQ(retry.TimeoutForAttempt(3), 11u);  // ceil(10.125)
+}
+
+TEST(DeliveryBoundaryTest, ArrivalAtExactlyTheTimeoutCounts) {
+  // The timeout is inclusive: a message delayed by exactly timeout_ticks
+  // arrived "within" the coordinator's wait. One tick more misses it.
+  Delivery d;
+  d.delay_ticks = 6;
+  EXPECT_TRUE(d.Arrived(6));
+  EXPECT_FALSE(d.Arrived(5));
+  d.delay_ticks = 7;
+  EXPECT_FALSE(d.Arrived(6));
+  // Dropped and crashed messages never arrive, at any timeout.
+  Delivery dropped;
+  dropped.dropped = true;
+  EXPECT_FALSE(dropped.Arrived(UINT64_MAX));
+  Delivery crashed;
+  crashed.crashed = true;
+  EXPECT_FALSE(crashed.Arrived(UINT64_MAX));
+}
+
+TEST(DeliveryBoundaryTest, StragglerAtExactTimeoutNeedsNoRetry) {
+  // End-to-end version of the boundary: every message straggles by
+  // exactly timeout_ticks, so attempt 0 succeeds and no retry bytes or
+  // re-requests exist anywhere in the accounting.
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.straggler_rate = 1.0;
+  plan.straggler_delay_ticks = 4;
+  const FaultInjector injector(plan);
+  CommStats comm;
+  Channel channel(&comm, &injector);
+  channel.BeginRound();
+  RetryPolicy retry;
+  retry.timeout_ticks = 4;
+  CollectionReport report;
+  const std::vector<bool> delivered = CollectWithRetry(
+      &channel, retry, {0, 1, 2}, "measurements", 10, kMeasurementBytes,
+      &report);
+  EXPECT_EQ(delivered, std::vector<bool>(3, true));
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_TRUE(report.excluded_nodes.empty());
+  EXPECT_EQ(channel.fault_stats().delayed, 3u);
+  EXPECT_EQ(comm.bytes_by_phase().count("measurements-retry"), 0u);
+  EXPECT_EQ(comm.bytes_by_phase().count("retry-request"), 0u);
+  EXPECT_EQ(comm.bytes_total(), 3u * 10u * kMeasurementBytes);
+}
+
+TEST(DeliveryBoundaryTest, DuplicateDedupPaysBytesOnceDeliversOnce) {
+  // Every message is transmitted twice; the coordinator dedups by
+  // (node, round, attempt). The wire pays for both copies — same phase,
+  // double the bytes — but each node is delivered exactly once and no
+  // retry machinery engages.
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.duplicate_rate = 1.0;
+  const FaultInjector injector(plan);
+  CommStats comm;
+  Channel channel(&comm, &injector);
+  channel.BeginRound();
+  RetryPolicy retry;
+  CollectionReport report;
+  const std::vector<bool> delivered = CollectWithRetry(
+      &channel, retry, {0, 1, 2, 3}, "measurements", 25, kMeasurementBytes,
+      &report);
+  EXPECT_EQ(delivered, std::vector<bool>(4, true));
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(channel.fault_stats().attempts, 4u);  // Per-attempt, not per-copy.
+  EXPECT_EQ(channel.fault_stats().duplicates, 4u);
+  // Both copies land in the same phase bucket: 2 × 4 nodes × 25 tuples.
+  EXPECT_EQ(comm.bytes_by_phase().at("measurements"),
+            2u * 4u * 25u * kMeasurementBytes);
+  EXPECT_EQ(comm.tuples_total(), 2u * 4u * 25u);
+}
+
 TEST(ChannelFaultTest, NoInjectorMatchesDirectAccounting) {
   CommStats direct;
   direct.BeginRound();

@@ -9,6 +9,7 @@
 
 #include "common/flags.h"
 #include "obs/telemetry.h"
+#include "sim/runner.h"
 #include "tools/cli_commands.h"
 
 namespace {
@@ -48,6 +49,9 @@ constexpr Subcommand kSubcommands[] = {
      "[--n= --mode= --epochs= --events-per-epoch= --window= --shards= --m= "
      "--k= --seed= --iterations= --telemetry-json=FILE]",
      "self-generating stream with a concurrent top-k analyst thread"},
+    {"sim", "[--scenarios= --seed0= --replay=SEED --verbose]",
+     "seeded randomized simulation sweep (or bit-identical single-seed "
+     "replay) with invariant checking"},
 };
 
 int Usage() {
@@ -134,6 +138,35 @@ int main(int argc, char** argv) {
                 written.Value(), out.c_str(), options.n, options.num_nodes,
                 options.sparsity);
     return 0;
+  }
+
+  if (command == "sim") {
+    if (flags.Has("replay")) {
+      const uint64_t seed = static_cast<uint64_t>(flags.GetInt("replay", 0));
+      std::string line;
+      const sim::ScenarioOutcome outcome = sim::ReplaySeed(seed, &line);
+      std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
+                  line.c_str());
+      std::printf("digest=%016llx %s\n",
+                  static_cast<unsigned long long>(outcome.digest),
+                  outcome.ok() ? "ok" : "FAIL");
+      for (const std::string& violation : outcome.violations) {
+        std::printf("  violation: %s\n", violation.c_str());
+      }
+      return outcome.ok() ? 0 : 1;
+    }
+    sim::SweepOptions options;
+    options.seed0 = static_cast<uint64_t>(flags.GetInt("seed0", 1));
+    options.scenarios = static_cast<size_t>(flags.GetInt("scenarios", 200));
+    options.verbose = flags.GetBool("verbose", false);
+    const sim::SweepResult result = sim::RunSweep(options);
+    std::fputs(result.report.c_str(), stdout);
+    for (const std::string& failure : result.failures) {
+      std::printf("%s\n", failure.c_str());
+    }
+    std::printf("combined-digest=%016llx\n",
+                static_cast<unsigned long long>(result.combined_digest));
+    return result.ok() ? 0 : 1;
   }
 
   if (command == "stream-demo") {

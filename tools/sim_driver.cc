@@ -1,0 +1,131 @@
+// sim_driver — seeded randomized simulation harness (DESIGN.md §15).
+//
+// Modes:
+//   (default)        sweep: run --scenarios seeded scenarios from --seed0
+//   --replay=SEED    re-run one scenario bit-identically and print verdict
+//   --corpus=FILE    run every seed listed in FILE (the regression corpus:
+//                    one decimal seed per line, '#' starts a comment)
+//   --list           print the scenario each seed derives to, without
+//                    running anything
+//
+// Exit status is nonzero iff any scenario violated an invariant, so the
+// driver can gate CI directly. Every failure line is followed by a
+// one-line replay recipe (`csod sim --replay SEED`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace csod;
+
+int ReplayOne(uint64_t seed) {
+  std::string line;
+  const sim::ScenarioOutcome outcome = sim::ReplaySeed(seed, &line);
+  std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
+              line.c_str());
+  std::printf("digest=%016llx %s\n",
+              static_cast<unsigned long long>(outcome.digest),
+              outcome.ok() ? "ok" : "FAIL");
+  for (const std::string& violation : outcome.violations) {
+    std::printf("  violation: %s\n", violation.c_str());
+  }
+  return outcome.ok() ? 0 : 1;
+}
+
+// Seeds from a regression-corpus file: one decimal seed per line,
+// whitespace trimmed, '#' to end of line is a comment, blank lines skipped.
+bool LoadCorpus(const std::string& path, std::vector<uint64_t>* seeds) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "sim_driver: cannot open corpus %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const size_t last = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(first, last - first + 1);
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      std::fprintf(stderr, "sim_driver: %s:%zu: bad seed '%s'\n", path.c_str(),
+                   lineno, token.c_str());
+      return false;
+    }
+    seeds->push_back(static_cast<uint64_t>(seed));
+  }
+  return true;
+}
+
+int RunCorpus(const std::string& path) {
+  std::vector<uint64_t> seeds;
+  if (!LoadCorpus(path, &seeds)) return 2;
+  size_t failed = 0;
+  for (uint64_t seed : seeds) {
+    std::string line;
+    const sim::ScenarioOutcome outcome = sim::ReplaySeed(seed, &line);
+    std::printf("seed=%llu digest=%016llx %s %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(outcome.digest),
+                outcome.ok() ? "ok " : "FAIL", line.c_str());
+    if (!outcome.ok()) {
+      ++failed;
+      for (const std::string& violation : outcome.violations) {
+        std::printf("  violation: %s\n", violation.c_str());
+      }
+      std::printf("  replay: csod sim --replay %llu\n",
+                  static_cast<unsigned long long>(seed));
+    }
+  }
+  std::printf("corpus: %zu seeds, %zu failed\n", seeds.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv).Check();
+
+  if (flags.Has("replay")) {
+    return ReplayOne(static_cast<uint64_t>(flags.GetInt("replay", 0)));
+  }
+  const std::string corpus = flags.GetString("corpus", "");
+  if (!corpus.empty()) return RunCorpus(corpus);
+
+  sim::SweepOptions options;
+  options.seed0 = static_cast<uint64_t>(flags.GetInt("seed0", 1));
+  options.scenarios = static_cast<size_t>(flags.GetInt("scenarios", 200));
+  options.verbose = flags.GetBool("verbose", false);
+
+  if (flags.GetBool("list", false)) {
+    for (size_t i = 0; i < options.scenarios; ++i) {
+      const uint64_t seed = options.seed0 + i;
+      std::printf("seed=%llu %s\n", static_cast<unsigned long long>(seed),
+                  sim::ScenarioToString(sim::ScenarioFromSeed(seed)).c_str());
+    }
+    return 0;
+  }
+
+  const sim::SweepResult result = sim::RunSweep(options);
+  std::fputs(result.report.c_str(), stdout);
+  for (const std::string& failure : result.failures) {
+    std::printf("%s\n", failure.c_str());
+  }
+  std::printf("combined-digest=%016llx\n",
+              static_cast<unsigned long long>(result.combined_digest));
+  return result.ok() ? 0 : 1;
+}
