@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs the wire-facing serve-surface benchmark (BENCH_serve_net.json at the
+# repo root): framed ingest/advance/query over the loopback transport vs a
+# bare in-process StreamingDetector fed the same stream, with an FNV-1a
+# digest over every observable output (published window measurement bits,
+# framed Outlier/Top query rows, mode, snapshot provenance) on both sides.
+#
+# The bench runs twice; timings differ run to run, so the determinism check
+# (same pattern as run_bench_streaming.sh) diffs only the
+# framed_digest / inprocess_digest / bit_identical / restore_bit_identical
+# lines, which must be byte-identical — and the bench itself exits nonzero
+# if the framed path diverges from the in-process path by a single bit, or
+# if a checkpoint fetched over the wire fails to restore a bit-identical
+# snapshot.
+#
+# The script then gates framed updates/sec: >= 100k/s on >= 8 cores,
+# >= 50k/s on 2-7 cores, >= 25k/s on a single core (MIN_UPDATES_PER_SEC
+# overrides). The framed path pays encode + checksum + decode per batch, so
+# the thresholds match run_bench_streaming.sh — framing must never cost an
+# order of magnitude.
+#
+# Usage: scripts/run_bench_serve_net.sh
+#   BUILD_DIR=<dir>            build directory (default: build)
+#   SERVE_NET_FLAGS=<f>        extra bench flags (e.g. "--quick=true")
+#   MIN_UPDATES_PER_SEC=<x>    override the throughput threshold
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_serve_net -j "$(nproc)"
+
+TMP_A="$(mktemp)"
+TMP_B="$(mktemp)"
+trap 'rm -f "$TMP_A" "$TMP_B"' EXIT
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_serve_net" --out="$TMP_A" ${SERVE_NET_FLAGS:-}
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_serve_net" --out="$TMP_B" ${SERVE_NET_FLAGS:-} \
+  >/dev/null
+
+DIGEST_RE='framed_digest|inprocess_digest|bit_identical|restore_bit_identical'
+if ! diff <(grep -E "$DIGEST_RE" "$TMP_A") \
+          <(grep -E "$DIGEST_RE" "$TMP_B") >/dev/null; then
+  echo "FAIL: two bench_serve_net runs produced different digests" >&2
+  diff <(grep -E "$DIGEST_RE" "$TMP_A") \
+       <(grep -E "$DIGEST_RE" "$TMP_B") >&2 || true
+  exit 1
+fi
+echo "Serve-net determinism check passed: digests identical across two runs."
+
+# Exactness gates: the bench exits nonzero itself, but assert the JSON too.
+if ! grep -q '"bit_identical": true' "$TMP_A"; then
+  echo "FAIL: framed path diverged from the in-process path" >&2
+  exit 1
+fi
+if ! grep -q '"restore_bit_identical": true' "$TMP_A"; then
+  echo "FAIL: wire-fetched checkpoint did not restore bit-identically" >&2
+  exit 1
+fi
+echo "Serve-net exactness gates passed: framed == in-process, restore" \
+     "republishes bit-identically."
+
+# Throughput gate: committed thresholds by core count.
+CORES="$(nproc)"
+if [[ -z "${MIN_UPDATES_PER_SEC:-}" ]]; then
+  if [[ "$CORES" -ge 8 ]]; then
+    MIN_UPDATES_PER_SEC=100000
+  elif [[ "$CORES" -ge 2 ]]; then
+    MIN_UPDATES_PER_SEC=50000
+  else
+    MIN_UPDATES_PER_SEC=25000
+  fi
+fi
+# Anchor on the object brace: the same line also carries
+# "direct_updates_per_sec", which a greedy match would grab instead.
+UPDATES="$(sed -n 's/.*{"updates_per_sec": \([0-9.]*\),.*/\1/p' "$TMP_A")"
+if [[ -z "$UPDATES" ]]; then
+  echo "FAIL: no updates_per_sec in bench output" >&2
+  exit 1
+fi
+if ! awk -v u="$UPDATES" -v min="$MIN_UPDATES_PER_SEC" \
+     'BEGIN {exit !(u >= min)}'; then
+  echo "FAIL: framed updates_per_sec $UPDATES below threshold" \
+       "$MIN_UPDATES_PER_SEC ($CORES cores)" >&2
+  exit 1
+fi
+echo "Serve-net throughput gate passed: ${UPDATES}/s >=" \
+     "${MIN_UPDATES_PER_SEC}/s ($CORES cores)."
+
+cp "$TMP_A" "$ROOT/BENCH_serve_net.json"
+echo "Wrote $ROOT/BENCH_serve_net.json"

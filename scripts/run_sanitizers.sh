@@ -42,10 +42,31 @@ ctest --output-on-failure -j "$(nproc)" -R "$ENGINE_FILTER"
 # Streaming service pass: the serve suite is the one place where reader
 # threads (snapshot queries) race the ingest/advance path by design —
 # swap-on-advance snapshot publication, the atomics backing
-# current_epoch/version, and the CLI demo's analyst thread all need TSan
-# eyes even when the main invocation was filtered.
-ctest --output-on-failure -j "$(nproc)" \
-  -R 'StreamingDetector|StreamingService|WindowedDetector|CliServe|CliStreamDemo'
+# current_epoch/version, the tenant-handle lifetime (RemoveTenant racing
+# in-flight queries), and the CLI demo's analyst thread all need TSan eyes
+# even when the main invocation was filtered. The wire surface rides along:
+# NetServer is shared across connections (atomic counters), ServeConnection
+# runs on its own thread in the socket tests, and checkpoint/restore copies
+# detector state under the ingest mutex.
+SERVE_FILTER='StreamingDetector|StreamingService|WindowedDetector'
+SERVE_FILTER+='|CliServe|CliStreamDemo'
+SERVE_FILTER+='|NetCodec|NetServer|NetEndToEnd|NetBackpressure|NetTornFrame'
+SERVE_FILTER+='|SnapshotFollower|Checkpoint'
+ctest --output-on-failure -j "$(nproc)" -R "$SERVE_FILTER"
+
+# The same serve surface under the *other* sanitizer: the wire codecs do
+# manual byte-level encode/decode (memcpy in and out of frames) and the
+# checkpoint path deep-copies epoch rings, so an address-safety pass is
+# required even when this invocation asked for TSan (and vice versa).
+SERVE_OTHER_SAN=$([[ "${1:-thread}" == thread ]] && echo address || echo thread)
+SERVE_OTHER_BUILD_DIR="${SERVE_OTHER_BUILD_DIR:-$ROOT/build-${SERVE_OTHER_SAN}san-serve}"
+cmake -B "$SERVE_OTHER_BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSOD_SANITIZE="$SERVE_OTHER_SAN"
+cmake --build "$SERVE_OTHER_BUILD_DIR" -j "$(nproc)" --target \
+  serve_test serve_net_test serve_checkpoint_test
+(cd "$SERVE_OTHER_BUILD_DIR" &&
+ ctest --output-on-failure -j "$(nproc)" -R "$SERVE_FILTER")
 
 # The same engine suite under the *other* sanitizer: the arena hands out
 # raw uninitialized pages and ColumnChunks runs element destructors by

@@ -21,6 +21,14 @@ enum class StatusCode : int8_t {
   kAlreadyExists = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  /// A bounded resource (queue bytes, admission quota) is exhausted; the
+  /// caller should back off and retry later. The serve-layer pushback
+  /// frames (serve/net.h) carry this code across the wire.
+  kResourceExhausted = 8,
+  /// Data was lost or corrupted in flight or at rest (checksum mismatch,
+  /// torn frame). Distinct from kInvalidArgument so transports can retry
+  /// exactly the corruption case and nothing else.
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -69,6 +77,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the status represents success.

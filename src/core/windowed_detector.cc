@@ -1,6 +1,8 @@
 #include "core/windowed_detector.h"
 
+#include <iterator>
 #include <string>
+#include <utility>
 
 #include "la/vector_ops.h"
 
@@ -40,6 +42,38 @@ uint64_t WindowedOutlierDetector::AdvanceEpoch() {
     epoch_sketches_.pop_front();  // O(1) expiry: drop the oldest sketch.
   }
   return current_epoch_;
+}
+
+Status WindowedOutlierDetector::RestoreEpochs(
+    uint64_t current_epoch, std::vector<std::vector<double>> sketches) {
+  if (sketches.empty()) {
+    return Status::InvalidArgument(
+        "RestoreEpochs: need at least the in-progress epoch sketch");
+  }
+  if (sketches.size() > options_.window_epochs) {
+    return Status::InvalidArgument(
+        "RestoreEpochs: " + std::to_string(sketches.size()) +
+        " sketches exceed the ring depth " +
+        std::to_string(options_.window_epochs));
+  }
+  if (sketches.size() > current_epoch + 1) {
+    return Status::InvalidArgument(
+        "RestoreEpochs: " + std::to_string(sketches.size()) +
+        " retained epochs cannot end at epoch " +
+        std::to_string(current_epoch));
+  }
+  for (const std::vector<double>& sketch : sketches) {
+    if (sketch.size() != options_.m) {
+      return Status::InvalidArgument(
+          "RestoreEpochs: sketch size " + std::to_string(sketch.size()) +
+          " != M " + std::to_string(options_.m));
+    }
+  }
+  epoch_sketches_.assign(std::make_move_iterator(sketches.begin()),
+                         std::make_move_iterator(sketches.end()));
+  current_epoch_ = current_epoch;
+  started_ = true;
+  return Status::OK();
 }
 
 Status WindowedOutlierDetector::Ingest(const cs::SparseSlice& slice) {

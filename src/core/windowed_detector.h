@@ -69,6 +69,21 @@ class WindowedOutlierDetector {
   /// window measurement (e.g. a published streaming snapshot).
   const cs::MeasurementMatrix& matrix() const { return *matrix_; }
 
+  /// The retained epoch ring, oldest-first (back = in-progress epoch).
+  /// This *is* the detector's whole data state — measurements are linear,
+  /// so checkpointing the ring checkpoints the window exactly.
+  const std::deque<std::vector<double>>& EpochSketches() const {
+    return epoch_sketches_;
+  }
+
+  /// Replaces the ring with `sketches` (oldest-first, each of length M,
+  /// the last one being the in-progress epoch `current_epoch`) — the
+  /// restore half of EpochSketches(). The detector behaves as if it had
+  /// just advanced into `current_epoch` with exactly this ring: the next
+  /// AdvanceEpoch moves to `current_epoch + 1`.
+  Status RestoreEpochs(uint64_t current_epoch,
+                       std::vector<std::vector<double>> sketches);
+
   /// Number of epochs currently retained (<= window_epochs).
   size_t epochs_retained() const { return epoch_sketches_.size(); }
   /// Index of the current epoch (0 before the first AdvanceEpoch()).

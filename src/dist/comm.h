@@ -82,10 +82,13 @@ class Channel {
                                         : obs::Telemetry::Disabled()) {}
 
   /// Starts a communication round; fault decisions are keyed by the
-  /// current round so multi-round protocols re-draw per round.
+  /// current round so multi-round protocols re-draw per round. The Nth
+  /// BeginRound (1-based) keys Send's fault draws on round N-1 —
+  /// stats_->BeginRound() has just incremented rounds(), so it is always
+  /// >= 1 here.
   void BeginRound() {
     stats_->BeginRound();
-    round_ = stats_->rounds() == 0 ? 0 : stats_->rounds() - 1;
+    round_ = stats_->rounds() - 1;
     telemetry_->AddCounter("comm.rounds");
   }
 

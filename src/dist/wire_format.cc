@@ -15,42 +15,6 @@ constexpr uint8_t kKindKeyValues = 2;
 constexpr size_t kHeaderSize = 4 + 1 + 8;
 constexpr size_t kChecksumSize = 8;
 
-void AppendU32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
-
-void AppendU64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-void AppendDouble(std::string* out, double v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-uint32_t ReadU32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-uint64_t ReadU64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
-double ReadDouble(const char* p) {
-  double v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
 // Rolling SplitMix-based checksum over a byte range (not cryptographic;
 // detects corruption).
 uint64_t Checksum(const char* data, size_t size) {
@@ -100,6 +64,78 @@ Result<const char*> ValidateEnvelope(const std::string& bytes, uint8_t kind,
 
 }  // namespace
 
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendF64(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double ReadF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::string EncodeFrame(uint8_t kind, uint64_t count,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(FrameWireSize(payload.size()));
+  AppendU32(&out, kMagic);
+  out.push_back(static_cast<char>(kind));
+  AppendU64(&out, count);
+  out.append(payload.data(), payload.size());
+  FinishMessage(&out);
+  return out;
+}
+
+Result<FrameView> DecodeFrame(const std::string& bytes) {
+  if (bytes.size() < kHeaderSize + kChecksumSize) {
+    return Status::DataLoss("wire: frame too short");
+  }
+  const char* p = bytes.data();
+  if (ReadU32(p) != kMagic) {
+    return Status::DataLoss("wire: bad frame magic");
+  }
+  const uint64_t stored = ReadU64(p + bytes.size() - kChecksumSize);
+  if (Checksum(p, bytes.size() - kChecksumSize) != stored) {
+    return Status::DataLoss("wire: frame checksum mismatch");
+  }
+  FrameView view;
+  view.kind = static_cast<uint8_t>(p[4]);
+  view.count = ReadU64(p + 5);
+  view.payload = p + kHeaderSize;
+  view.payload_size = bytes.size() - kHeaderSize - kChecksumSize;
+  return view;
+}
+
+size_t FrameWireSize(size_t payload_size) {
+  return kHeaderSize + payload_size + kChecksumSize;
+}
+
 Result<std::string> EncodeMeasurement(const std::vector<double>& y) {
   for (size_t i = 0; i < y.size(); ++i) {
     if (!std::isfinite(y[i])) {
@@ -112,7 +148,7 @@ Result<std::string> EncodeMeasurement(const std::vector<double>& y) {
   AppendU32(&out, kMagic);
   out.push_back(static_cast<char>(kKindMeasurement));
   AppendU64(&out, y.size());
-  for (double v : y) AppendDouble(&out, v);
+  for (double v : y) AppendF64(&out, v);
   FinishMessage(&out);
   return out;
 }
@@ -122,7 +158,7 @@ Result<std::vector<double>> DecodeMeasurement(const std::string& bytes) {
   CSOD_ASSIGN_OR_RETURN(const char* payload,
                         ValidateEnvelope(bytes, kKindMeasurement, 8, &count));
   std::vector<double> y(count);
-  for (uint64_t i = 0; i < count; ++i) y[i] = ReadDouble(payload + 8 * i);
+  for (uint64_t i = 0; i < count; ++i) y[i] = ReadF64(payload + 8 * i);
   return y;
 }
 
@@ -132,8 +168,8 @@ Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice) {
   }
   for (size_t idx : slice.indices) {
     if (idx > UINT32_MAX) {
-      return Status::OutOfRange("wire: key id " + std::to_string(idx) +
-                                " exceeds 32-bit key space");
+      return Status::InvalidArgument("wire: key id " + std::to_string(idx) +
+                                     " exceeds 32-bit key space");
     }
   }
   for (size_t i = 0; i < slice.values.size(); ++i) {
@@ -150,7 +186,7 @@ Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice) {
   AppendU64(&out, slice.nnz());
   for (size_t i = 0; i < slice.nnz(); ++i) {
     AppendU32(&out, static_cast<uint32_t>(slice.indices[i]));
-    AppendDouble(&out, slice.values[i]);
+    AppendF64(&out, slice.values[i]);
   }
   FinishMessage(&out);
   return out;
@@ -165,7 +201,7 @@ Result<cs::SparseSlice> DecodeKeyValues(const std::string& bytes) {
   slice.values.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     slice.indices.push_back(ReadU32(payload + 12 * i));
-    slice.values.push_back(ReadDouble(payload + 12 * i + 4));
+    slice.values.push_back(ReadF64(payload + 12 * i + 4));
   }
   return slice;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -36,8 +37,9 @@ Result<std::string> EncodeMeasurement(const std::vector<double>& y);
 /// Parses a measurement message.
 Result<std::vector<double>> DecodeMeasurement(const std::string& bytes);
 
-/// Serializes a sparse key-value slice (32-bit key ids; keys must fit).
-/// InvalidArgument on non-finite values.
+/// Serializes a sparse key-value slice (32-bit key ids). InvalidArgument
+/// on keys that do not fit 32 bits (never silent truncation) and on
+/// non-finite values.
 Result<std::string> EncodeKeyValues(const cs::SparseSlice& slice);
 
 /// Parses a key-value message.
@@ -48,6 +50,48 @@ size_t MeasurementWireSize(size_t m);
 
 /// Exact on-wire size of an encoded key-value slice with nnz entries.
 size_t KeyValueWireSize(size_t nnz);
+
+// ---------------------------------------------------------------------------
+// Generic framing — the same envelope the two messages above use
+// ([u32 magic][u8 kind][u64 count][payload][u64 checksum]), exposed so
+// higher layers (the serve RPC surface, checkpoint files) can define new
+// message kinds without reimplementing the checksum discipline. Kinds 1–15
+// are reserved for dist payloads (1 = measurement, 2 = key-values); the
+// serve layer claims 16+ (serve/net.h).
+// ---------------------------------------------------------------------------
+
+/// A validated view into a decoded frame. Borrows the frame's bytes: the
+/// view is valid only while the decoded string is alive and unmodified.
+struct FrameView {
+  uint8_t kind = 0;
+  /// The envelope's count field — element count by convention of the kind.
+  uint64_t count = 0;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+};
+
+/// Wraps `payload` in a checksummed envelope of the given kind.
+std::string EncodeFrame(uint8_t kind, uint64_t count, std::string_view payload);
+
+/// Validates magic + checksum and returns a borrowed view of the payload.
+/// Unlike Decode{Measurement,KeyValues} this cannot check count against the
+/// payload size (the payload unit is kind-specific) — kind handlers must.
+/// Returns DataLoss on any corruption so transports can retry exactly the
+/// torn-frame case.
+Result<FrameView> DecodeFrame(const std::string& bytes);
+
+/// Exact on-wire size of a frame with a payload of `payload_size` bytes.
+size_t FrameWireSize(size_t payload_size);
+
+/// Little-endian primitive append/read helpers for composing frame
+/// payloads (the same encoders the built-in messages use). Readers trust
+/// the caller's bounds — validate sizes before reading.
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendF64(std::string* out, double v);
+uint32_t ReadU32(const char* p);
+uint64_t ReadU64(const char* p);
+double ReadF64(const char* p);
 
 }  // namespace csod::dist
 

@@ -1,0 +1,288 @@
+#include "serve/checkpoint.h"
+
+#include <cstring>
+#include <utility>
+
+#include "dist/wire_format.h"
+#include "sim/buggify.h"
+
+namespace csod::serve {
+
+namespace {
+
+using dist::AppendU32;
+using dist::AppendU64;
+using dist::ReadU32;
+using dist::ReadU64;
+
+// Payload layout (after the generic [magic][kind][count] envelope header;
+// count = retained epochs):
+//   u64 n, m, seed, window_epochs, num_shards, epoch_ticks
+//   u8  window_kind, started, has_snapshot
+//   u64 current_epoch, version, last_tick
+//   u64 num_epochs
+//   per epoch: u64 events, u32 len, EncodeMeasurement bytes (own checksum)
+//   per shard: u8 stalled
+//   per shard: u64 num_slices; per slice: u32 len, EncodeKeyValues bytes
+//   if has_snapshot:
+//     u64 version, last_epoch, first_epoch, epochs_covered, events
+//     u32 num_stalled; u32 per stalled shard
+//     u32 len, EncodeMeasurement(y) bytes
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+Status AppendMessage(std::string* out, const Result<std::string>& message) {
+  CSOD_RETURN_NOT_OK(message.status());
+  if (message.Value().size() > UINT32_MAX) {
+    return Status::InvalidArgument(
+        "checkpoint: embedded message exceeds 4 GiB");
+  }
+  AppendU32(out, static_cast<uint32_t>(message.Value().size()));
+  out->append(message.Value());
+  return Status::OK();
+}
+
+// Bounds-checked cursor over the frame payload. Structural overruns are
+// InvalidArgument: the outer checksum already validated, so a short read
+// here means a malformed payload, not bit rot.
+struct Reader {
+  const char* p;
+  size_t remaining;
+
+  Status Need(size_t bytes) {
+    if (remaining < bytes) {
+      return Status::InvalidArgument("checkpoint: truncated payload field");
+    }
+    return Status::OK();
+  }
+  Status U8(uint8_t* v) {
+    CSOD_RETURN_NOT_OK(Need(1));
+    *v = static_cast<uint8_t>(*p);
+    ++p;
+    --remaining;
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    CSOD_RETURN_NOT_OK(Need(4));
+    *v = ReadU32(p);
+    p += 4;
+    remaining -= 4;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    CSOD_RETURN_NOT_OK(Need(8));
+    *v = ReadU64(p);
+    p += 8;
+    remaining -= 8;
+    return Status::OK();
+  }
+  Status Bytes(size_t n, std::string* out) {
+    CSOD_RETURN_NOT_OK(Need(n));
+    out->assign(p, n);
+    p += n;
+    remaining -= n;
+    return Status::OK();
+  }
+  Status Message(std::string* out) {
+    uint32_t len = 0;
+    CSOD_RETURN_NOT_OK(U32(&len));
+    return Bytes(len, out);
+  }
+};
+
+}  // namespace
+
+Result<std::string> EncodeCheckpoint(const StreamingDetectorOptions& options,
+                                     const DetectorCheckpoint& checkpoint) {
+  std::string payload;
+  AppendU64(&payload, options.n);
+  AppendU64(&payload, options.m);
+  AppendU64(&payload, options.seed);
+  AppendU64(&payload, options.window_epochs);
+  AppendU64(&payload, options.num_shards);
+  AppendU64(&payload, options.epoch_ticks);
+  AppendU8(&payload, options.window == WindowKind::kTumbling ? 1 : 0);
+  AppendU8(&payload, checkpoint.started ? 1 : 0);
+  AppendU8(&payload, checkpoint.snapshot != nullptr ? 1 : 0);
+  AppendU64(&payload, checkpoint.current_epoch);
+  AppendU64(&payload, checkpoint.version);
+  AppendU64(&payload, checkpoint.last_tick);
+
+  if (checkpoint.epoch_events.size() != checkpoint.epoch_sketches.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: epoch events/sketches size mismatch");
+  }
+  const uint64_t num_epochs = checkpoint.epoch_sketches.size();
+  AppendU64(&payload, num_epochs);
+  for (uint64_t e = 0; e < num_epochs; ++e) {
+    AppendU64(&payload, checkpoint.epoch_events[e]);
+    CSOD_RETURN_NOT_OK(AppendMessage(
+        &payload, dist::EncodeMeasurement(checkpoint.epoch_sketches[e])));
+  }
+
+  if (checkpoint.stalled.size() != options.num_shards ||
+      checkpoint.backlogs.size() != options.num_shards) {
+    return Status::InvalidArgument("checkpoint: shard state size mismatch");
+  }
+  for (uint8_t flag : checkpoint.stalled) AppendU8(&payload, flag ? 1 : 0);
+  for (const std::vector<cs::SparseSlice>& backlog : checkpoint.backlogs) {
+    AppendU64(&payload, backlog.size());
+    for (const cs::SparseSlice& slice : backlog) {
+      CSOD_RETURN_NOT_OK(AppendMessage(&payload, dist::EncodeKeyValues(slice)));
+    }
+  }
+
+  if (checkpoint.snapshot != nullptr) {
+    const SketchSnapshot& snapshot = *checkpoint.snapshot;
+    AppendU64(&payload, snapshot.version);
+    AppendU64(&payload, snapshot.last_epoch);
+    AppendU64(&payload, snapshot.first_epoch);
+    AppendU64(&payload, snapshot.epochs_covered);
+    AppendU64(&payload, snapshot.events);
+    AppendU32(&payload, static_cast<uint32_t>(snapshot.stalled_shards.size()));
+    for (uint32_t shard : snapshot.stalled_shards) AppendU32(&payload, shard);
+    CSOD_RETURN_NOT_OK(
+        AppendMessage(&payload, dist::EncodeMeasurement(snapshot.y)));
+  }
+
+  std::string frame =
+      dist::EncodeFrame(kCheckpointFrameKind, num_epochs, payload);
+  // Buggify: crash mid-checkpoint — the writer dies partway through, so
+  // the reader sees a torn frame. Keyed on the checkpointed epoch: the
+  // same epoch's checkpoint is torn on every attempt (a crashed writer
+  // stays crashed), the next epoch's succeeds. Decoding must reject the
+  // torn bytes via the outer checksum, never restore from them.
+  if (CSOD_BUGGIFY_AT("serve.net.mid_checkpoint_crash",
+                      checkpoint.current_epoch)) {
+    frame.resize(frame.size() / 2);
+  }
+  return frame;
+}
+
+Result<DecodedCheckpoint> DecodeCheckpoint(const std::string& frame) {
+  CSOD_ASSIGN_OR_RETURN(dist::FrameView view, dist::DecodeFrame(frame));
+  if (view.kind != kCheckpointFrameKind) {
+    return Status::InvalidArgument(
+        "checkpoint: unexpected frame kind " + std::to_string(view.kind));
+  }
+  Reader reader{view.payload, view.payload_size};
+  DecodedCheckpoint decoded;
+  uint64_t u = 0;
+  CSOD_RETURN_NOT_OK(reader.U64(&u));
+  decoded.n = static_cast<size_t>(u);
+  CSOD_RETURN_NOT_OK(reader.U64(&u));
+  decoded.m = static_cast<size_t>(u);
+  CSOD_RETURN_NOT_OK(reader.U64(&decoded.seed));
+  CSOD_RETURN_NOT_OK(reader.U64(&u));
+  decoded.window_epochs = static_cast<size_t>(u);
+  CSOD_RETURN_NOT_OK(reader.U64(&u));
+  decoded.num_shards = static_cast<size_t>(u);
+  CSOD_RETURN_NOT_OK(reader.U64(&decoded.epoch_ticks));
+  uint8_t window_kind = 0, started = 0, has_snapshot = 0;
+  CSOD_RETURN_NOT_OK(reader.U8(&window_kind));
+  CSOD_RETURN_NOT_OK(reader.U8(&started));
+  CSOD_RETURN_NOT_OK(reader.U8(&has_snapshot));
+  decoded.window =
+      window_kind != 0 ? WindowKind::kTumbling : WindowKind::kSliding;
+  decoded.state.started = started != 0;
+  CSOD_RETURN_NOT_OK(reader.U64(&decoded.state.current_epoch));
+  CSOD_RETURN_NOT_OK(reader.U64(&decoded.state.version));
+  CSOD_RETURN_NOT_OK(reader.U64(&decoded.state.last_tick));
+
+  uint64_t num_epochs = 0;
+  CSOD_RETURN_NOT_OK(reader.U64(&num_epochs));
+  if (num_epochs != view.count) {
+    return Status::InvalidArgument(
+        "checkpoint: epoch count disagrees with the frame envelope");
+  }
+  if (num_epochs > decoded.window_epochs + 1) {
+    return Status::InvalidArgument("checkpoint: more epochs than the ring");
+  }
+  decoded.state.epoch_events.reserve(num_epochs);
+  decoded.state.epoch_sketches.reserve(num_epochs);
+  std::string message;
+  for (uint64_t e = 0; e < num_epochs; ++e) {
+    CSOD_RETURN_NOT_OK(reader.U64(&u));
+    decoded.state.epoch_events.push_back(u);
+    CSOD_RETURN_NOT_OK(reader.Message(&message));
+    CSOD_ASSIGN_OR_RETURN(std::vector<double> sketch,
+                          dist::DecodeMeasurement(message));
+    if (sketch.size() != decoded.m) {
+      return Status::InvalidArgument("checkpoint: epoch sketch size " +
+                                     std::to_string(sketch.size()) +
+                                     " != M " + std::to_string(decoded.m));
+    }
+    decoded.state.epoch_sketches.push_back(std::move(sketch));
+  }
+
+  decoded.state.stalled.reserve(decoded.num_shards);
+  for (size_t p = 0; p < decoded.num_shards; ++p) {
+    uint8_t flag = 0;
+    CSOD_RETURN_NOT_OK(reader.U8(&flag));
+    decoded.state.stalled.push_back(flag);
+  }
+  decoded.state.backlogs.resize(decoded.num_shards);
+  for (size_t p = 0; p < decoded.num_shards; ++p) {
+    uint64_t num_slices = 0;
+    CSOD_RETURN_NOT_OK(reader.U64(&num_slices));
+    for (uint64_t i = 0; i < num_slices; ++i) {
+      CSOD_RETURN_NOT_OK(reader.Message(&message));
+      CSOD_ASSIGN_OR_RETURN(cs::SparseSlice slice,
+                            dist::DecodeKeyValues(message));
+      decoded.state.backlogs[p].push_back(std::move(slice));
+    }
+  }
+
+  if (has_snapshot != 0) {
+    auto snapshot = std::make_shared<SketchSnapshot>();
+    CSOD_RETURN_NOT_OK(reader.U64(&snapshot->version));
+    CSOD_RETURN_NOT_OK(reader.U64(&snapshot->last_epoch));
+    CSOD_RETURN_NOT_OK(reader.U64(&snapshot->first_epoch));
+    CSOD_RETURN_NOT_OK(reader.U64(&u));
+    snapshot->epochs_covered = static_cast<size_t>(u);
+    CSOD_RETURN_NOT_OK(reader.U64(&snapshot->events));
+    uint32_t num_stalled = 0;
+    CSOD_RETURN_NOT_OK(reader.U32(&num_stalled));
+    snapshot->stalled_shards.reserve(num_stalled);
+    for (uint32_t i = 0; i < num_stalled; ++i) {
+      uint32_t shard = 0;
+      CSOD_RETURN_NOT_OK(reader.U32(&shard));
+      snapshot->stalled_shards.push_back(shard);
+    }
+    CSOD_RETURN_NOT_OK(reader.Message(&message));
+    CSOD_ASSIGN_OR_RETURN(snapshot->y, dist::DecodeMeasurement(message));
+    if (snapshot->y.size() != decoded.m) {
+      return Status::InvalidArgument("checkpoint: snapshot y size mismatch");
+    }
+    decoded.state.snapshot = std::move(snapshot);
+  }
+
+  if (reader.remaining != 0) {
+    return Status::InvalidArgument("checkpoint: trailing payload bytes");
+  }
+  return decoded;
+}
+
+Result<std::unique_ptr<StreamingDetector>> RestoreDetector(
+    const std::string& frame, const StreamingDetectorOptions& options) {
+  CSOD_ASSIGN_OR_RETURN(DecodedCheckpoint decoded, DecodeCheckpoint(frame));
+  if (decoded.n != options.n || decoded.m != options.m ||
+      decoded.seed != options.seed ||
+      decoded.window_epochs != options.window_epochs ||
+      decoded.num_shards != options.num_shards ||
+      decoded.epoch_ticks != options.epoch_ticks ||
+      decoded.window != options.window) {
+    return Status::InvalidArgument(
+        "RestoreDetector: checkpoint geometry (n=" + std::to_string(decoded.n) +
+        " m=" + std::to_string(decoded.m) +
+        " seed=" + std::to_string(decoded.seed) +
+        " window=" + std::to_string(decoded.window_epochs) +
+        " shards=" + std::to_string(decoded.num_shards) +
+        ") does not match the detector options");
+  }
+  return StreamingDetector::Restore(options, decoded.state);
+}
+
+}  // namespace csod::serve

@@ -17,7 +17,8 @@ Status StreamingService::AddTenant(const std::string& name,
   CSOD_ASSIGN_OR_RETURN(std::unique_ptr<StreamingDetector> detector,
                         StreamingDetector::Create(options));
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = tenants_.emplace(name, std::move(detector));
+  auto [it, inserted] = tenants_.emplace(
+      name, std::shared_ptr<StreamingDetector>(std::move(detector)));
   (void)it;
   if (!inserted) {
     return Status::AlreadyExists("AddTenant: tenant '" + name +
@@ -34,14 +35,14 @@ Status StreamingService::RemoveTenant(const std::string& name) {
   return Status::OK();
 }
 
-Result<StreamingDetector*> StreamingService::Tenant(
+Result<std::shared_ptr<StreamingDetector>> StreamingService::Tenant(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
     return Status::NotFound("no tenant '" + name + "'");
   }
-  return it->second.get();
+  return it->second;
 }
 
 std::vector<std::string> StreamingService::TenantNames() const {
@@ -55,27 +56,29 @@ std::vector<std::string> StreamingService::TenantNames() const {
 Status StreamingService::Ingest(const std::string& tenant,
                                 const std::vector<size_t>& keys,
                                 const std::vector<double>& deltas) {
-  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+  CSOD_ASSIGN_OR_RETURN(std::shared_ptr<StreamingDetector> detector,
+                        Tenant(tenant));
   return detector->IngestBatch(keys, deltas);
 }
 
 Result<uint64_t> StreamingService::AdvanceTo(const std::string& tenant,
                                              uint64_t tick) {
-  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+  CSOD_ASSIGN_OR_RETURN(std::shared_ptr<StreamingDetector> detector,
+                        Tenant(tenant));
   return detector->AdvanceTo(tick);
 }
 
 Status StreamingService::AdvanceAllTo(uint64_t tick) {
-  std::vector<StreamingDetector*> detectors;
+  std::vector<std::shared_ptr<StreamingDetector>> detectors;
   {
     std::lock_guard<std::mutex> lock(mu_);
     detectors.reserve(tenants_.size());
     for (const auto& [name, detector] : tenants_) {
-      detectors.push_back(detector.get());
+      detectors.push_back(detector);
     }
   }
   Status first_error;
-  for (StreamingDetector* detector : detectors) {
+  for (const std::shared_ptr<StreamingDetector>& detector : detectors) {
     const Result<uint64_t> epoch = detector->AdvanceTo(tick);
     if (!epoch.ok() && first_error.ok()) first_error = epoch.status();
   }
@@ -90,7 +93,8 @@ Result<StreamingQueryResult> StreamingService::Query(
 
 Result<StreamingQueryResult> StreamingService::QueryTenant(
     const std::string& tenant, const query::Query& query) const {
-  CSOD_ASSIGN_OR_RETURN(StreamingDetector * detector, Tenant(tenant));
+  CSOD_ASSIGN_OR_RETURN(std::shared_ptr<StreamingDetector> detector,
+                        Tenant(tenant));
 
   StreamingQueryResult result;
   result.key_space = detector->options().n;

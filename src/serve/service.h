@@ -68,12 +68,17 @@ class StreamingService {
   Status AddTenant(const std::string& name,
                    StreamingDetectorOptions options);
 
-  /// Unregisters a tenant (its published snapshots stay valid for holders).
+  /// Unregisters a tenant. Holders of the detector handle (and of its
+  /// published snapshots) keep a valid object until they drop it; the
+  /// service just stops routing new calls to it.
   Status RemoveTenant(const std::string& name);
 
-  /// The tenant's detector, or NotFound. The pointer stays valid until
-  /// RemoveTenant — detectors are owned by the service, not the map node.
-  Result<StreamingDetector*> Tenant(const std::string& name) const;
+  /// The tenant's detector, or NotFound. The returned handle keeps the
+  /// detector alive even across a concurrent RemoveTenant — an in-flight
+  /// ingest or query finishes against a detached detector rather than
+  /// racing its destruction (use-after-free otherwise).
+  Result<std::shared_ptr<StreamingDetector>> Tenant(
+      const std::string& name) const;
 
   std::vector<std::string> TenantNames() const;
 
@@ -102,7 +107,10 @@ class StreamingService {
   obs::Telemetry* telemetry_;  // Never null (Disabled() when unset).
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<StreamingDetector>> tenants_;
+  // shared_ptr, not unique_ptr: Tenant() hands out ref-holding handles, so
+  // RemoveTenant only detaches a tenant — destruction waits for the last
+  // in-flight caller to finish.
+  std::map<std::string, std::shared_ptr<StreamingDetector>> tenants_;
 };
 
 }  // namespace csod::serve

@@ -56,6 +56,81 @@ Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Create(
   return detector;
 }
 
+Result<std::unique_ptr<StreamingDetector>> StreamingDetector::Restore(
+    const StreamingDetectorOptions& options,
+    const DetectorCheckpoint& checkpoint) {
+  CSOD_ASSIGN_OR_RETURN(std::unique_ptr<StreamingDetector> detector,
+                        Create(options));
+  if (checkpoint.epoch_sketches.size() != checkpoint.epoch_events.size()) {
+    return Status::InvalidArgument(
+        "Restore: " + std::to_string(checkpoint.epoch_sketches.size()) +
+        " epoch sketches vs " + std::to_string(checkpoint.epoch_events.size()) +
+        " epoch event counts");
+  }
+  if (checkpoint.stalled.size() != options.num_shards ||
+      checkpoint.backlogs.size() != options.num_shards) {
+    return Status::InvalidArgument(
+        "Restore: checkpoint shard count (" +
+        std::to_string(checkpoint.stalled.size()) + " stall flags, " +
+        std::to_string(checkpoint.backlogs.size()) + " backlogs) != " +
+        std::to_string(options.num_shards));
+  }
+  if (checkpoint.started) {
+    if (checkpoint.epoch_sketches.empty()) {
+      return Status::InvalidArgument(
+          "Restore: a started checkpoint must retain at least the "
+          "in-progress epoch");
+    }
+    CSOD_RETURN_NOT_OK(detector->window_->RestoreEpochs(
+        checkpoint.current_epoch, checkpoint.epoch_sketches));
+  } else if (!checkpoint.epoch_sketches.empty()) {
+    return Status::InvalidArgument(
+        "Restore: an unstarted checkpoint cannot retain epochs");
+  }
+  std::lock_guard<std::mutex> lock(detector->ingest_mu_);
+  detector->epoch_events_.assign(checkpoint.epoch_events.begin(),
+                                 checkpoint.epoch_events.end());
+  detector->backlog_events_locked_ = 0;
+  for (uint32_t p = 0; p < options.num_shards; ++p) {
+    detector->stalled_[p] = checkpoint.stalled[p] != 0;
+    detector->backlog_[p].assign(checkpoint.backlogs[p].begin(),
+                                 checkpoint.backlogs[p].end());
+    for (const cs::SparseSlice& slice : checkpoint.backlogs[p]) {
+      detector->backlog_events_locked_ += slice.nnz();
+    }
+  }
+  detector->last_tick_ = checkpoint.last_tick;
+  detector->started_.store(checkpoint.started, std::memory_order_relaxed);
+  detector->current_epoch_.store(checkpoint.current_epoch,
+                                 std::memory_order_relaxed);
+  detector->version_.store(checkpoint.version, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> snapshot_lock(detector->snapshot_mu_);
+    detector->snapshot_ = checkpoint.snapshot;
+  }
+  return detector;
+}
+
+DetectorCheckpoint StreamingDetector::CheckpointState() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  DetectorCheckpoint checkpoint;
+  checkpoint.started = started_.load(std::memory_order_relaxed);
+  checkpoint.current_epoch = current_epoch_.load(std::memory_order_relaxed);
+  checkpoint.version = version_.load(std::memory_order_relaxed);
+  checkpoint.last_tick = last_tick_;
+  const std::deque<std::vector<double>>& ring = window_->EpochSketches();
+  checkpoint.epoch_sketches.assign(ring.begin(), ring.end());
+  checkpoint.epoch_events.assign(epoch_events_.begin(), epoch_events_.end());
+  checkpoint.stalled.reserve(options_.num_shards);
+  checkpoint.backlogs.resize(options_.num_shards);
+  for (uint32_t p = 0; p < options_.num_shards; ++p) {
+    checkpoint.stalled.push_back(stalled_[p] ? 1 : 0);
+    checkpoint.backlogs[p].assign(backlog_[p].begin(), backlog_[p].end());
+  }
+  checkpoint.snapshot = Snapshot();
+  return checkpoint;
+}
+
 uint32_t StreamingDetector::ShardOfKey(size_t key, size_t num_shards) {
   return static_cast<uint32_t>(SplitMix64(static_cast<uint64_t>(key)) %
                                num_shards);

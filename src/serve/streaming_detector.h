@@ -56,6 +56,29 @@ struct StreamingDetectorOptions {
   obs::Telemetry* telemetry = nullptr;
 };
 
+/// A full copy of one detector's mutable state at one instant: the epoch
+/// ring, per-epoch event counts, stall flags, backlogs, virtual clock, and
+/// the latest published snapshot. Because CS measurements are linear the
+/// ring *is* the window — restoring this struct restores the detector
+/// exactly, bit for bit (serve/checkpoint.h serializes it with checksums).
+struct DetectorCheckpoint {
+  bool started = false;
+  uint64_t current_epoch = 0;
+  /// Publications so far (the version counter continues from here).
+  uint64_t version = 0;
+  uint64_t last_tick = 0;
+  /// Retained epoch sketches, oldest-first; the last is the in-progress
+  /// epoch. Parallel to `epoch_events`.
+  std::vector<std::vector<double>> epoch_sketches;
+  std::vector<uint64_t> epoch_events;
+  /// Per-shard stall flags (size num_shards).
+  std::vector<uint8_t> stalled;
+  /// Per-shard deferred batch-shares in arrival order (size num_shards).
+  std::vector<std::vector<cs::SparseSlice>> backlogs;
+  /// Latest published snapshot, or null before the first publication.
+  std::shared_ptr<const SketchSnapshot> snapshot;
+};
+
 /// \brief Always-on sharded streaming outlier detection over one keyed
 /// score stream (one tenant; StreamingService multiplexes tenants).
 ///
@@ -112,6 +135,20 @@ class StreamingDetector {
  public:
   static Result<std::unique_ptr<StreamingDetector>> Create(
       const StreamingDetectorOptions& options);
+
+  /// Creates a detector that continues `checkpoint` exactly: the next
+  /// publication is bit-identical to what the checkpointed detector would
+  /// have published, versions continue from the checkpointed counter, and
+  /// deferred backlogs replay as if the restart never happened. `options`
+  /// must describe the same stream (same n/m/seed/window/shards) as the
+  /// detector the checkpoint was taken from.
+  static Result<std::unique_ptr<StreamingDetector>> Restore(
+      const StreamingDetectorOptions& options,
+      const DetectorCheckpoint& checkpoint);
+
+  /// Copies the full mutable state (blocks ingestion for the duration of
+  /// the copy; concurrent queries are unaffected).
+  DetectorCheckpoint CheckpointState() const;
 
   /// The shard a key routes to: `SplitMix64(key) % num_shards` (the same
   /// mixed hash as the MapReduce default partitioner — never identity).

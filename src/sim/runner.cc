@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -25,6 +26,9 @@
 #include "obs/telemetry.h"
 #include "outlier/metrics.h"
 #include "outlier/outlier.h"
+#include "serve/checkpoint.h"
+#include "serve/net.h"
+#include "serve/service.h"
 #include "serve/streaming_detector.h"
 #include "sim/buggify.h"
 #include "workload/generators.h"
@@ -790,8 +794,15 @@ void RunMapReduceScenario(const Scenario& s, Ctx* ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// kServe — stall/unstall storms and republish races; staleness ≤ 1 epoch,
-// event conservation, and bit-identical snapshots across thread limits.
+// kServe — stall/unstall storms, republish races, and torn frames, driven
+// end-to-end through the wire-facing deployment surface (serve/net.h):
+// every ingest/advance/query travels as a checksummed frame over the
+// loopback transport, where the `serve.net.torn_frame` Buggify section
+// corrupts requests in flight (one client retry must always recover) and
+// `serve.net.mid_checkpoint_crash` tears checkpoint fetches (a torn
+// checkpoint must be detected, never installed). Invariants: staleness ≤ 1
+// epoch, event conservation across retries and replays, checkpoint restore
+// bit-identity, and bit-identical snapshots across thread limits.
 // ---------------------------------------------------------------------------
 
 void RunServeScenario(const Scenario& s, Ctx* ctx) {
@@ -805,14 +816,41 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
   opts.num_shards = s.num_shards;
   opts.window = serve::WindowKind::kSliding;
   opts.telemetry = &telemetry;
-  Result<std::unique_ptr<serve::StreamingDetector>> created =
-      serve::StreamingDetector::Create(opts);
-  if (!created.ok()) {
-    ctx->Violate("serve: create failed: " + created.status().ToString());
+  serve::StreamingService service(&telemetry);
+  const char kTenant[] = "sim";
+  Status added = service.AddTenant(kTenant, opts);
+  if (!added.ok()) {
+    ctx->Violate("serve: create failed: " + added.ToString());
     return;
   }
-  serve::StreamingDetector& detector = *created.Value();
-  detector.AdvanceEpoch();  // Opens epoch 0.
+  Result<std::shared_ptr<serve::StreamingDetector>> tenant =
+      service.Tenant(kTenant);
+  if (!tenant.ok()) {
+    ctx->Violate("serve: tenant lookup failed: " +
+                 tenant.status().ToString());
+    return;
+  }
+  // Direct handle for invariant checks (staleness, backlog, unstall); all
+  // data-plane traffic goes through the framed client below.
+  serve::StreamingDetector& detector = *tenant.Value();
+
+  serve::NetServerOptions net_options;
+  // The stall-storm scenarios defer events on purpose; admission pushback
+  // has its own tests, so give the backlog effectively unbounded headroom.
+  net_options.max_tenant_backlog_bytes =
+      std::numeric_limits<size_t>::max() / 2;
+  serve::NetServer server(&service, net_options);
+  serve::LoopbackTransport transport(&server);
+  serve::NetClient client(&transport);
+
+  {
+    Result<uint64_t> opened = client.AdvanceTo(kTenant, 0);  // Opens epoch 0.
+    if (!opened.ok()) {
+      ctx->Violate("serve: framed open failed: " +
+                   opened.status().ToString());
+      return;
+    }
+  }
 
   // A few hot keys carry real signal so the final query has outliers to
   // find; the rest is Gaussian noise.
@@ -823,6 +861,9 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
 
   uint64_t generated = 0;
   bool ingest_ok = true;
+  std::string last_checkpoint;     // Latest checkpoint that decoded clean.
+  uint64_t checkpoints_good = 0;   // Fetches that survived the storm.
+  uint64_t checkpoints_torn = 0;   // Mid-write crashes, detected + skipped.
   for (size_t epoch = 0; epoch < s.epochs && ingest_ok; ++epoch) {
     for (size_t batch = 0; batch < s.batches_per_epoch; ++batch) {
       Rng rng(SplitMix64(HashCombine(HashCombine(s.seed, kEventsTag),
@@ -839,15 +880,22 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
         keys.push_back(hot[j]);
         deltas.push_back(200.0 + 40.0 * static_cast<double>(j));
       }
-      Status st = detector.IngestBatch(keys, deltas);
+      Status st = client.Ingest(kTenant, keys, deltas);
       if (!st.ok()) {
-        ctx->Violate("serve: ingest failed: " + st.ToString());
+        ctx->Violate("serve: framed ingest failed: " + st.ToString());
         ingest_ok = false;
         break;
       }
       generated += keys.size();
     }
-    detector.AdvanceEpoch();
+    if (!ingest_ok) break;
+    Result<uint64_t> advanced = client.AdvanceTo(kTenant, epoch + 1);
+    if (!advanced.ok()) {
+      ctx->Violate("serve: framed advance failed: " +
+                   advanced.status().ToString());
+      ingest_ok = false;
+      break;
+    }
     std::shared_ptr<const serve::SketchSnapshot> snapshot =
         detector.Snapshot();
     if (snapshot == nullptr) {
@@ -857,6 +905,27 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
                    U64(detector.current_epoch() - snapshot->last_epoch) +
                    " epochs after closing epoch " + U64(epoch) +
                    " (bound is 1)");
+    }
+    // Crash-consistent checkpoint stream: fetch after every close. A fetch
+    // torn by the mid-checkpoint-crash section must fail the checksum
+    // (DataLoss) — the previous good checkpoint stays installed; anything
+    // that arrives intact must decode structurally clean.
+    Result<std::string> ckpt = client.FetchCheckpoint(kTenant);
+    if (ckpt.ok()) {
+      Result<serve::DecodedCheckpoint> decoded =
+          serve::DecodeCheckpoint(ckpt.Value());
+      if (decoded.ok()) {
+        last_checkpoint = ckpt.Value();
+        ++checkpoints_good;
+      } else {
+        ctx->Violate("serve: intact checkpoint failed to decode: " +
+                     decoded.status().ToString());
+      }
+    } else if (ckpt.status().code() == StatusCode::kDataLoss) {
+      ++checkpoints_torn;
+    } else {
+      ctx->Violate("serve: checkpoint fetch failed: " +
+                   ckpt.status().ToString());
     }
   }
   // Storm over: disarm Buggify, unstall everything, and close one more
@@ -868,7 +937,16 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
       ctx->Violate("serve: unstall failed: " + st.ToString());
     }
   }
-  detector.AdvanceEpoch();
+  if (ingest_ok) {
+    Result<uint64_t> drained =
+        client.AdvanceTo(kTenant, static_cast<uint64_t>(s.epochs) + 1);
+    if (!drained.ok()) {
+      ctx->Violate("serve: framed drain advance failed: " +
+                   drained.status().ToString());
+    }
+  } else {
+    detector.AdvanceEpoch();
+  }
   if (detector.backlog_events() != 0) {
     ctx->Violate("serve: backlog not drained after unstall-all (" +
                  U64(detector.backlog_events()) + " events stuck)");
@@ -900,12 +978,88 @@ void RunServeScenario(const Scenario& s, Ctx* ctx) {
   ctx->digest.Mix(telemetry.counter("serve.shard.stalls"));
   ctx->digest.Mix(telemetry.counter("serve.shard.unstalls"));
   ctx->digest.Mix(telemetry.counter("serve.snapshots"));
+  ctx->digest.Mix(checkpoints_good);
+  ctx->digest.Mix(checkpoints_torn);
+  ctx->digest.Mix(client.stats().retries);
+  ctx->digest.Mix(server.frames_rejected());
 
+  // Restart drill: with Buggify disarmed the post-storm checkpoint must
+  // arrive intact, and restoring it must republish the live detector's
+  // snapshot bit-identically (version, epoch range, y bytes).
+  if (ingest_ok) {
+    Result<std::string> final_ckpt = client.FetchCheckpoint(kTenant);
+    if (!final_ckpt.ok()) {
+      ctx->Violate("serve: post-storm checkpoint fetch failed: " +
+                   final_ckpt.status().ToString());
+    } else {
+      serve::StreamingDetectorOptions restore_opts = opts;
+      restore_opts.telemetry = nullptr;  // Keep conservation counters clean.
+      Result<std::unique_ptr<serve::StreamingDetector>> restored =
+          serve::RestoreDetector(final_ckpt.Value(), restore_opts);
+      if (!restored.ok()) {
+        ctx->Violate("serve: checkpoint restore failed: " +
+                     restored.status().ToString());
+      } else {
+        std::shared_ptr<const serve::SketchSnapshot> live =
+            detector.Snapshot();
+        std::shared_ptr<const serve::SketchSnapshot> rest =
+            restored.Value()->Snapshot();
+        const bool identical =
+            live != nullptr && rest != nullptr &&
+            rest->version == live->version &&
+            rest->first_epoch == live->first_epoch &&
+            rest->last_epoch == live->last_epoch &&
+            rest->events == live->events &&
+            rest->stalled_shards == live->stalled_shards &&
+            rest->y.size() == live->y.size() &&
+            std::memcmp(rest->y.data(), live->y.data(),
+                        live->y.size() * sizeof(double)) == 0;
+        if (!identical) {
+          ctx->Violate(
+              "serve: restored checkpoint snapshot is not bit-identical to "
+              "the live detector's");
+        }
+      }
+    }
+  }
+
+  // Final query over the wire; it must match the in-process answer bit for
+  // bit (the digest is fed from the framed rows, so any divergence between
+  // deployment surface and library also breaks replay determinism).
   Result<outlier::OutlierSet> query = detector.QueryOutliers(s.k);
-  if (query.ok()) {
-    ctx->digest.Mix(query.Value());
-  } else {
+  Result<serve::StreamingQueryResult> framed = client.Query(
+      "SELECT Outlier " + U64(s.k) + " SUM(score), key FROM " + kTenant +
+      " GROUP BY key");
+  if (!query.ok()) {
     ctx->Violate("serve: final query failed: " + query.status().ToString());
+  } else if (!framed.ok()) {
+    ctx->Violate("serve: framed final query failed: " +
+                 framed.status().ToString());
+  } else {
+    const outlier::OutlierSet& want = query.Value();
+    const serve::StreamingQueryResult& got = framed.Value();
+    bool rows_equal = got.rows.size() == want.outliers.size() &&
+                      got.mode == want.mode;
+    for (size_t i = 0; rows_equal && i < got.rows.size(); ++i) {
+      rows_equal =
+          got.rows[i].group_key ==
+              std::to_string(want.outliers[i].key_index) &&
+          got.rows[i].value == want.outliers[i].value &&
+          got.rows[i].rank_score == want.outliers[i].divergence;
+    }
+    if (!rows_equal) {
+      ctx->Violate(
+          "serve: framed query answer diverged from the in-process answer");
+    }
+    ctx->digest.Mix(got.mode);
+    ctx->digest.Mix(got.rows.size());
+    for (const query::ResultRow& row : got.rows) {
+      ctx->digest.Mix(row.group_key);
+      ctx->digest.Mix(row.value);
+      ctx->digest.Mix(row.rank_score);
+    }
+    ctx->digest.Mix(got.snapshot_version);
+    ctx->digest.Mix(got.staleness_epochs);
   }
 }
 
@@ -952,7 +1106,12 @@ ScenarioOutcome ExecuteScenario(const Scenario& scenario,
     // The section report (activation, hits, fires) is itself part of the
     // deterministic outcome: a thread-schedule-dependent fault decision
     // shows up here as a digest mismatch even if the answer survived it.
+    // Sections this scenario never hit are skipped — the registry is leaky
+    // across scenarios, so unhit entries registered by an earlier scenario
+    // in the same process would make the digest depend on sweep
+    // composition rather than the seed alone.
     for (const BuggifySectionReport& section : BuggifyReport()) {
+      if (section.hits == 0) continue;
       ctx.digest.Mix(section.name);
       ctx.digest.Mix(section.activated);
       ctx.digest.Mix(section.hits);

@@ -299,6 +299,49 @@ TEST(ChannelFaultTest, DuplicateCostsTwiceCrashCostsNothing) {
   EXPECT_EQ(channel.fault_stats().crashed, 1u);
 }
 
+TEST(ChannelFaultTest, SendKeysFaultDrawsOnTheCurrentRound) {
+  // Regression: Channel::BeginRound once derived its round key from a
+  // dead `rounds() == 0` branch, so every Send drew faults as round 0 and
+  // multi-round protocols never re-drew. Pin the contract: after the Nth
+  // BeginRound (1-based), Send(node, ..., attempt) must decide exactly as
+  // FaultInjector::Decide(node, N - 1, attempt).
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.drop_rate = 0.4;
+  plan.straggler_rate = 0.3;
+  plan.duplicate_rate = 0.2;
+  const FaultInjector injector(plan);
+  CommStats comm;
+  Channel channel(&comm, &injector);
+
+  bool rounds_diverged = false;
+  Delivery first_round_draw;
+  for (uint64_t n = 1; n <= 6; ++n) {
+    channel.BeginRound();
+    for (uint64_t attempt = 0; attempt < 3; ++attempt) {
+      const Delivery expected = injector.Decide(2, n - 1, attempt);
+      const Delivery got =
+          channel.Send(2, "measurements", 4, kMeasurementBytes, attempt);
+      EXPECT_EQ(got.crashed, expected.crashed) << "round " << n;
+      EXPECT_EQ(got.dropped, expected.dropped) << "round " << n;
+      EXPECT_EQ(got.delay_ticks, expected.delay_ticks) << "round " << n;
+      EXPECT_EQ(got.duplicated, expected.duplicated) << "round " << n;
+      if (attempt == 0) {
+        if (n == 1) {
+          first_round_draw = got;
+        } else if (got.dropped != first_round_draw.dropped ||
+                   got.delay_ticks != first_round_draw.delay_ticks ||
+                   got.duplicated != first_round_draw.duplicated) {
+          rounds_diverged = true;
+        }
+      }
+    }
+  }
+  // With these rates at this seed, later rounds draw differently from
+  // round 0 — the observable symptom the dead branch suppressed.
+  EXPECT_TRUE(rounds_diverged);
+}
+
 TEST(CsProtocolFaultTest, StragglerRetriesThenSucceedsWithRetryPhaseBytes) {
   // Every message straggles by 6 ticks; the first attempt times out at 4,
   // the re-requested attempt waits 8 and succeeds. The answer must be

@@ -1,10 +1,12 @@
 #include "serve/service.h"
 #include "serve/streaming_detector.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -538,6 +540,94 @@ TEST(StreamingServiceTest, QueryTemplateAgainstTenantSnapshot) {
                 .code(),
             StatusCode::kNotFound);
   EXPECT_FALSE(service.Query("SELECT nonsense").ok());
+}
+
+// Regression (tenant-lifetime race): Tenant() used to hand out a raw
+// pointer after dropping the service mutex, so a concurrent RemoveTenant
+// destroyed the detector under an in-flight Ingest/Query (use-after-free
+// under TSan/ASan). The handle is now a shared_ptr: removal only detaches
+// the tenant, and the last in-flight caller finishes safely. This test runs
+// queries and ingests against a tenant while another thread removes and
+// re-adds it; sanitizer runs (scripts/run_sanitizers.sh) make any revival
+// of the race fail loudly.
+TEST(StreamingServiceTest, RemoveTenantWhileQueryingIsSafe) {
+  StreamingService service;
+  ASSERT_TRUE(service.AddTenant("churn", SmallOptions()).ok());
+  ASSERT_TRUE(service.AdvanceTo("churn", 0).ok());
+  ASSERT_TRUE(service.Ingest("churn", {7}, {5000.0}).ok());
+  ASSERT_TRUE(service.AdvanceTo("churn", 1).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Grab a handle; whatever happens to the tenant map afterwards,
+        // the handle must stay valid for the whole query.
+        auto handle = service.Tenant("churn");
+        if (!handle.ok()) continue;  // Between remove and re-add.
+        std::shared_ptr<StreamingDetector> detector = handle.MoveValue();
+        auto snapshot = detector->Snapshot();
+        if (snapshot != nullptr) {
+          auto answer = detector->QueryOutliers(1);
+          if (answer.ok()) answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(service.RemoveTenant("churn").ok());
+    ASSERT_TRUE(service.AddTenant("churn", SmallOptions()).ok());
+    ASSERT_TRUE(service.AdvanceTo("churn", 0).ok());
+    ASSERT_TRUE(service.Ingest("churn", {7}, {5000.0}).ok());
+    ASSERT_TRUE(service.AdvanceTo("churn", 1).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(answered.load(), 0u);
+}
+
+// Pins the tumbling-window staleness contract end to end: between
+// publications queries answer from the previous full window, so
+// `staleness_epochs` climbs to exactly `window_epochs` just before the
+// next publication, drops back to 1 right after, and never underflows
+// (current_epoch >= snapshot->last_epoch + 1 always).
+TEST(StreamingServiceTest, TumblingStalenessReachesWindowAndNeverUnderflows) {
+  constexpr size_t kWindow = 3;
+  StreamingService service;
+  auto options = SmallOptions(kWindow);
+  options.window = WindowKind::kTumbling;
+  ASSERT_TRUE(service.AddTenant("t", options).ok());
+  const std::string query_text =
+      "SELECT Top 1 SUM(score), key FROM t GROUP BY key";
+
+  ASSERT_TRUE(service.AdvanceTo("t", 0).ok());  // Opens epoch 0.
+  uint64_t max_staleness = 0;
+  for (uint64_t tick = 1; tick <= 3 * kWindow; ++tick) {
+    ASSERT_TRUE(service.Ingest("t", {1}, {10.0}).ok());
+    ASSERT_TRUE(service.AdvanceTo("t", tick).ok());
+    auto result = service.Query(query_text);
+    if (tick < kWindow) {
+      // No full window yet: nothing published, queries fail cleanly.
+      EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const StreamingQueryResult& answer = result.Value();
+    // staleness = current_epoch - snapshot_last_epoch, both unsigned: an
+    // underflow would show up as a huge value, so the bounds pin both
+    // directions.
+    EXPECT_GE(answer.staleness_epochs, 1u);
+    EXPECT_LE(answer.staleness_epochs, kWindow);
+    // A publication happens exactly at window-boundary ticks.
+    EXPECT_EQ(answer.staleness_epochs,
+              (tick - kWindow) % kWindow + 1);
+    max_staleness = std::max(max_staleness, answer.staleness_epochs);
+  }
+  // The bound is tight: staleness actually reaches window_epochs.
+  EXPECT_EQ(max_staleness, kWindow);
 }
 
 TEST(StreamingServiceTest, TenantsAreIsolated) {

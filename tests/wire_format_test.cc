@@ -45,7 +45,10 @@ TEST(WireFormatTest, KeyTooLargeRejected) {
   slice.values = {1.0};
   auto encoded = EncodeKeyValues(slice);
   EXPECT_FALSE(encoded.ok());
-  EXPECT_EQ(encoded.status().code(), StatusCode::kOutOfRange);
+  // InvalidArgument, not OutOfRange: a key past the 32-bit wire key space
+  // is a caller bug (wrong dictionary), not an iteration boundary — and
+  // callers must be able to distinguish it from retryable range errors.
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(WireFormatTest, MismatchedSliceRejected) {

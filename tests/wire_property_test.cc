@@ -139,9 +139,18 @@ TEST(WirePropertyTest, MaxKeyIdRoundTrips) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.Value().indices[1], static_cast<size_t>(UINT32_MAX));
 
-  // One past the 32-bit key space is rejected, not truncated.
+  // One past the 32-bit key space is rejected, not truncated — and with
+  // InvalidArgument (a caller bug), never OutOfRange or a silent wrap.
   slice.indices[1] = uint64_t{UINT32_MAX} + 1;
-  EXPECT_FALSE(EncodeKeyValues(slice).ok());
+  auto rejected = EncodeKeyValues(slice);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // Same verdict far past the boundary (the top size_t bit set).
+  slice.indices[1] = size_t{1} << 63;
+  rejected = EncodeKeyValues(slice);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(WirePropertyTest, NonFinitePayloadsRejectedAtEncodeTime) {

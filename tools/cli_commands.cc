@@ -10,11 +10,17 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/detector.h"
 #include "dist/comm.h"
 #include "outlier/outlier.h"
 #include "query/executor.h"
 #include "query/query.h"
+#include "serve/checkpoint.h"
+#include "serve/net.h"
+#include "serve/service.h"
 #include "serve/streaming_detector.h"
 #include "workload/generators.h"
 #include "workload/partitioner.h"
@@ -392,6 +398,230 @@ Result<std::string> RunServe(const EventFile& events,
   out << SnapshotProvenance(*detector);
   out << RenderOutliers(result, "window k-outliers via BOMP");
   return out.str();
+}
+
+namespace {
+
+// Everything between transport construction and teardown: drives the whole
+// replay through the NetClient so RunServeNet can join the server thread on
+// every exit path.
+Result<std::string> DriveServeNet(
+    serve::StreamingService* service, serve::NetServer* server,
+    serve::FrameTransport* transport, const EventFile& events,
+    const ServeNetOptions& options,
+    const serve::StreamingDetectorOptions& stream) {
+  constexpr char kTenant[] = "stream";
+  serve::NetClient client(transport);
+
+  // Flatten the file into one replay stream: node-major, file order within
+  // a node — the same deterministic arrival order as `serve`.
+  std::vector<size_t> keys;
+  std::vector<double> deltas;
+  keys.reserve(events.num_records);
+  deltas.reserve(events.num_records);
+  for (const auto& split : events.splits) {
+    for (const mr::ScoreEvent& e : split) {
+      keys.push_back(static_cast<size_t>(e.key));
+      deltas.push_back(e.score);
+    }
+  }
+
+  CSOD_RETURN_NOT_OK(client.AdvanceTo(kTenant, 0).status());  // Open epoch 0.
+  const size_t total = keys.size();
+  const size_t per_epoch = (total + options.epochs - 1) / options.epochs;
+  size_t batches = 0;
+  std::vector<size_t> batch_keys;
+  std::vector<double> batch_deltas;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const size_t begin = std::min(epoch * per_epoch, total);
+    const size_t end = std::min(begin + per_epoch, total);
+    for (size_t at = begin; at < end; at += options.batch_events) {
+      const size_t count = std::min(options.batch_events, end - at);
+      batch_keys.assign(keys.begin() + at, keys.begin() + at + count);
+      batch_deltas.assign(deltas.begin() + at, deltas.begin() + at + count);
+      CSOD_RETURN_NOT_OK(client.Ingest(kTenant, batch_keys, batch_deltas));
+      ++batches;
+    }
+    CSOD_RETURN_NOT_OK(client.AdvanceTo(kTenant, epoch + 1).status());
+  }
+
+  // The framed query, and the same query asked in-process: the deployment
+  // surface must not perturb a single bit of the answer.
+  char query_text[160];
+  std::snprintf(query_text, sizeof(query_text),
+                "SELECT Outlier %zu SUM(score), key FROM %s GROUP BY key",
+                options.k, kTenant);
+  CSOD_ASSIGN_OR_RETURN(serve::StreamingQueryResult framed,
+                        client.Query(query_text));
+  CSOD_ASSIGN_OR_RETURN(serve::StreamingQueryResult direct,
+                        service->Query(query_text));
+  bool exact = framed.rows.size() == direct.rows.size() &&
+               framed.mode == direct.mode &&
+               framed.snapshot_version == direct.snapshot_version;
+  for (size_t i = 0; exact && i < framed.rows.size(); ++i) {
+    exact = framed.rows[i].group_key == direct.rows[i].group_key &&
+            framed.rows[i].value == direct.rows[i].value &&
+            framed.rows[i].rank_score == direct.rows[i].rank_score;
+  }
+  if (!exact) {
+    return Status::Internal(
+        "serve-net: framed query diverged from the in-process answer");
+  }
+
+  // Checkpoint → restore: the restored detector must republish the
+  // leader's snapshot bit-identically (version, epoch range, y bytes).
+  CSOD_ASSIGN_OR_RETURN(std::string ckpt_frame,
+                        client.FetchCheckpoint(kTenant));
+  CSOD_ASSIGN_OR_RETURN(auto restored,
+                        serve::RestoreDetector(ckpt_frame, stream));
+  CSOD_ASSIGN_OR_RETURN(std::shared_ptr<serve::StreamingDetector> leader,
+                        service->Tenant(kTenant));
+  auto leader_snap = leader->Snapshot();
+  auto restored_snap = restored->Snapshot();
+  if (leader_snap == nullptr || restored_snap == nullptr ||
+      restored_snap->version != leader_snap->version ||
+      restored_snap->first_epoch != leader_snap->first_epoch ||
+      restored_snap->last_epoch != leader_snap->last_epoch ||
+      restored_snap->y != leader_snap->y) {
+    return Status::Internal(
+        "serve-net: restored checkpoint snapshot is not bit-identical");
+  }
+
+  // Follower replication: a replica fed only the published snapshot must
+  // answer the window query bit-identically to the leader.
+  serve::SnapshotFollowerOptions follower_options;
+  follower_options.n = stream.n;
+  follower_options.m = stream.m;
+  follower_options.seed = stream.seed;
+  follower_options.iterations = stream.iterations;
+  follower_options.solver = stream.solver;
+  CSOD_ASSIGN_OR_RETURN(auto follower,
+                        serve::SnapshotFollower::Create(follower_options));
+  CSOD_RETURN_NOT_OK(follower->ReplicateOnce(&client, kTenant));
+  CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet follower_set,
+                        follower->QueryOutliers(options.k));
+  CSOD_ASSIGN_OR_RETURN(outlier::OutlierSet leader_set,
+                        leader->QueryOutliers(options.k));
+  bool replica_exact = follower_set.mode == leader_set.mode &&
+                       follower_set.outliers.size() ==
+                           leader_set.outliers.size();
+  for (size_t i = 0; replica_exact && i < follower_set.outliers.size(); ++i) {
+    replica_exact =
+        follower_set.outliers[i].key_index ==
+            leader_set.outliers[i].key_index &&
+        follower_set.outliers[i].value == leader_set.outliers[i].value &&
+        follower_set.outliers[i].divergence ==
+            leader_set.outliers[i].divergence;
+  }
+  if (!replica_exact) {
+    return Status::Internal(
+        "serve-net: follower answer diverged from the leader");
+  }
+
+  std::ostringstream out;
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "replayed %zu events as %zu epochs over %s transport "
+                "(%zu ingest frames of <= %zu events, %zu shards, "
+                "window %zu)\n",
+                total, options.epochs, options.socket ? "socket" : "loopback",
+                batches, options.batch_events, options.num_shards,
+                options.window_epochs);
+  out << line;
+  const serve::NetClient::Stats& cs = client.stats();
+  std::snprintf(line, sizeof(line),
+                "client: %llu frames sent (%llu B out, %llu B in), "
+                "%llu retries, %llu pushbacks\n",
+                static_cast<unsigned long long>(cs.frames_sent),
+                static_cast<unsigned long long>(cs.bytes_sent),
+                static_cast<unsigned long long>(cs.bytes_received),
+                static_cast<unsigned long long>(cs.retries),
+                static_cast<unsigned long long>(cs.pushbacks));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "server: %llu frames handled, %llu rejected, "
+                "%llu pushbacks\n",
+                static_cast<unsigned long long>(server->frames_handled()),
+                static_cast<unsigned long long>(server->frames_rejected()),
+                static_cast<unsigned long long>(server->pushbacks()));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "checkpoint: %zu B frame, restore republishes v%llu "
+                "bit-identically\n",
+                ckpt_frame.size(),
+                static_cast<unsigned long long>(restored_snap->version));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "follower: replicated v%llu, answers bit-identical to the "
+                "leader\n",
+                static_cast<unsigned long long>(
+                    follower->Snapshot()->version));
+  out << line;
+  out << SnapshotProvenance(*leader);
+  std::snprintf(line, sizeof(line),
+                "window k-outliers via framed query (mode %.3f)\n",
+                framed.mode);
+  out << line;
+  for (size_t i = 0; i < framed.rows.size(); ++i) {
+    const query::ResultRow& row = framed.rows[i];
+    std::snprintf(line, sizeof(line),
+                  "  %2zu. key %-10s value %14.3f divergence %14.3f\n",
+                  i + 1, row.group_key.c_str(), row.value, row.rank_score);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+Result<std::string> RunServeNet(const EventFile& events,
+                                const ServeNetOptions& options) {
+  if (options.epochs == 0) {
+    return Status::InvalidArgument("serve-net: --epochs must be > 0");
+  }
+  if (options.batch_events == 0) {
+    return Status::InvalidArgument("serve-net: --batch must be > 0");
+  }
+  serve::StreamingDetectorOptions stream;
+  stream.n = options.n_override ? options.n_override : events.key_space;
+  stream.m = options.m;
+  stream.seed = options.seed;
+  stream.iterations = options.iterations;
+  stream.window_epochs = options.window_epochs;
+  stream.num_shards = options.num_shards;
+  stream.telemetry = options.telemetry;
+
+  serve::StreamingService service(options.telemetry);
+  CSOD_RETURN_NOT_OK(service.AddTenant("stream", stream));
+  serve::NetServerOptions net;
+  net.max_tenant_backlog_bytes = options.max_backlog_bytes;
+  serve::NetServer server(&service, net);
+
+  std::unique_ptr<serve::FrameTransport> transport;
+  std::thread server_thread;
+  if (options.socket) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      return Status::Internal("serve-net: socketpair failed");
+    }
+    server_thread = std::thread([fd = fds[1], &server] {
+      Status served = serve::ServeConnection(fd, &server);
+      (void)served;  // Clean EOF; a transport error only ends the replay.
+      ::close(fd);
+    });
+    transport = std::make_unique<serve::SocketTransport>(fds[0]);
+  } else {
+    transport = std::make_unique<serve::LoopbackTransport>(&server);
+  }
+
+  Result<std::string> report =
+      DriveServeNet(&service, &server, transport.get(), events, options,
+                    stream);
+  // Destroying the transport closes the client fd; the server thread sees
+  // clean EOF and exits.
+  transport.reset();
+  if (server_thread.joinable()) server_thread.join();
+  return report;
 }
 
 Result<std::string> RunStreamDemo(const StreamDemoOptions& options) {

@@ -45,6 +45,12 @@ constexpr Subcommand kSubcommands[] = {
      "--iterations= --n= --telemetry-json=FILE]",
      "replay the event file through the streaming service and answer a "
      "window outlier query"},
+    {"serve-net",
+     "--in=FILE [--transport={loopback|socket} --epochs= --window= --shards= "
+     "--batch= --m= --k= --seed= --iterations= --n= --backlog-bytes= "
+     "--telemetry-json=FILE]",
+     "replay the event file through the wire-facing deployment surface "
+     "(framed ingest/query, checkpoint restore, follower replication)"},
     {"stream-demo",
      "[--n= --mode= --epochs= --events-per-epoch= --window= --shards= --m= "
      "--k= --seed= --iterations= --telemetry-json=FILE]",
@@ -227,6 +233,27 @@ int main(int argc, char** argv) {
     options.batch_events = static_cast<size_t>(flags.GetInt("batch", 512));
     options.telemetry = sink;
     report = tools::RunServe(events.Value(), options);
+  } else if (command == "serve-net") {
+    tools::ServeNetOptions options;
+    options.m = static_cast<size_t>(flags.GetInt("m", 400));
+    options.k = static_cast<size_t>(flags.GetInt("k", 5));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    options.iterations = static_cast<size_t>(flags.GetInt("iterations", 0));
+    options.n_override = static_cast<size_t>(flags.GetInt("n", 0));
+    options.window_epochs = static_cast<size_t>(flags.GetInt("window", 4));
+    options.epochs = static_cast<size_t>(flags.GetInt("epochs", 8));
+    options.num_shards = static_cast<size_t>(flags.GetInt("shards", 8));
+    options.batch_events = static_cast<size_t>(flags.GetInt("batch", 512));
+    options.max_backlog_bytes = static_cast<size_t>(
+        flags.GetInt("backlog-bytes", 64 << 20));
+    const std::string transport = flags.GetString("transport", "loopback");
+    if (transport != "loopback" && transport != "socket") {
+      return Fail(Status::InvalidArgument(
+          "serve-net: --transport must be loopback or socket"));
+    }
+    options.socket = transport == "socket";
+    options.telemetry = sink;
+    report = tools::RunServeNet(events.Value(), options);
   }
   return Finish(report, telemetry_path, telemetry);
 }
